@@ -1,0 +1,159 @@
+// Extension bench — the paper's headline claim, measured end-to-end on the
+// Elastico substrate: "the proposed algorithm can select the most valuable
+// committees ... thus accelerating the block formation by eliminating the
+// straggler shards in each epoch." We run the same epoch under three final-
+// committee policies and report the epoch makespan, packed TXs, throughput,
+// and the cumulative shard age of the final block.
+//
+// Policies:
+//   wait-for-all — the vanilla Elastico final committee: DDL = max latency,
+//                  every committed shard is packed;
+//   fastest-70%  — a blind percentile cut: keep the fastest 70%;
+//   MVCom (SE)   — Alg. 1: stop listening at N_max = 80% (percentile DDL),
+//                  then SE-select the most valuable admitted shards under
+//                  the final block's capacity.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "mvcom/ddl_policy.hpp"
+#include "mvcom/se_scheduler.hpp"
+#include "sharding/elastico.hpp"
+#include "txn/trace_generator.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::common::SimTime;
+using mvcom::sharding::CommitteeOutcome;
+
+constexpr std::size_t kMemberCommittees = 31;
+
+mvcom::sharding::ElasticoConfig config() {
+  mvcom::sharding::ElasticoConfig c;
+  c.num_nodes = 512;
+  c.committee_size = 8;
+  c.committee_bits = 5;  // 31 member committees + final
+  c.overlay_cost_per_node = SimTime(0.35);
+  c.link_latency_mean = SimTime(2.0);
+  c.pbft.verification_mean = SimTime(1.2);
+  return c;
+}
+
+/// One-block-scale shards (≈2 blocks per committee) so the freshness term
+/// α·s vs Π is genuinely balanced, as in the paper's parameter regime.
+mvcom::txn::Trace small_trace() {
+  Rng rng(2016);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = 2 * kMemberCommittees;
+  tc.target_total_txs = 2 * kMemberCommittees * 1088;
+  return mvcom::txn::generate_trace(tc, rng);
+}
+
+std::vector<mvcom::txn::ShardReport> to_reports(
+    const std::vector<CommitteeOutcome>& committed) {
+  std::vector<mvcom::txn::ShardReport> reports;
+  for (const auto& c : committed) {
+    reports.push_back({c.committee_id, c.tx_count,
+                       c.formation_latency.seconds(),
+                       c.consensus_latency.seconds()});
+  }
+  return reports;
+}
+
+/// MVCom policy: N_max = 80% admission, then SE under 70%-of-total capacity.
+std::vector<std::uint32_t> mvcom_policy(
+    const std::vector<CommitteeOutcome>& committed) {
+  const auto reports = to_reports(committed);
+  std::uint64_t total = 0;
+  for (const auto& r : reports) total += r.tx_count;
+  const mvcom::core::PercentileDdl ddl(0.8);
+  const auto instance = mvcom::core::make_instance_with_ddl(
+      reports, ddl, /*alpha=*/1.5, (total * 7) / 10, reports.size() / 3);
+  std::vector<std::uint32_t> ids;
+  if (!instance) {
+    for (const auto& c : committed) ids.push_back(c.committee_id);
+    return ids;
+  }
+  mvcom::core::SeParams params;
+  params.threads = 10;
+  params.max_iterations = 2500;
+  mvcom::core::SeScheduler scheduler(*instance, params, 77);
+  const auto result = scheduler.run();
+  if (result.feasible) {
+    for (std::size_t i = 0; i < result.best.size(); ++i) {
+      if (result.best[i]) ids.push_back(instance->committees()[i].id);
+    }
+  } else {
+    for (const auto& c : committed) ids.push_back(c.committee_id);
+  }
+  return ids;
+}
+
+/// Blind percentile cut: keep the fastest 70% of committees.
+std::vector<std::uint32_t> percentile_policy(
+    const std::vector<CommitteeOutcome>& committed) {
+  std::vector<CommitteeOutcome> sorted = committed;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const CommitteeOutcome& a, const CommitteeOutcome& b) {
+              return a.two_phase_latency() < b.two_phase_latency();
+            });
+  std::vector<std::uint32_t> ids;
+  for (std::size_t i = 0; i < (sorted.size() * 7) / 10; ++i) {
+    ids.push_back(sorted[i].committee_id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+int main() {
+  const auto trace = small_trace();
+  mvcom::bench::print_header(
+      "Extension", "epoch acceleration on the Elastico substrate");
+  std::printf("  %-18s %12s %10s %10s %14s\n", "final-cmte policy",
+              "makespan(s)", "TXs", "TXs/s", "shard age(s)");
+
+  struct Policy {
+    const char* name;
+    mvcom::sharding::CommitteeScheduler scheduler;
+  };
+  const Policy policies[] = {
+      {"wait-for-all", nullptr},
+      {"fastest-70%", percentile_policy},
+      {"MVCom (SE)", mvcom_policy},
+  };
+
+  for (const Policy& policy : policies) {
+    double makespan = 0.0;
+    double txs = 0.0;
+    double age = 0.0;
+    constexpr std::uint64_t kSeeds = 3;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      mvcom::sharding::ElasticoNetwork network(config(), Rng(seed * 100));
+      const auto outcome = network.run_epoch(trace, policy.scheduler);
+      makespan += outcome.epoch_makespan.seconds();
+      txs += static_cast<double>(outcome.final_block_txs);
+      // Cumulative shard age: Σ over packed shards of (DDL − submission).
+      double ddl = 0.0;
+      for (const std::uint32_t id : outcome.selected) {
+        ddl = std::max(ddl,
+                       outcome.committees[id].two_phase_latency().seconds());
+      }
+      for (const std::uint32_t id : outcome.selected) {
+        age += ddl - outcome.committees[id].two_phase_latency().seconds();
+      }
+    }
+    makespan /= kSeeds;
+    txs /= kSeeds;
+    age /= kSeeds;
+    std::printf("  %-18s %12.1f %10.0f %10.1f %14.1f\n", policy.name,
+                makespan, txs, txs / makespan, age);
+  }
+  std::printf("  (expected shape: MVCom cuts the makespan and the cumulative "
+              "shard age vs wait-for-all while keeping throughput high — "
+              "matching throughput with far fresher shards)\n");
+  return 0;
+}

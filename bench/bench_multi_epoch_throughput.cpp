@@ -1,0 +1,206 @@
+// Extension bench — multi-epoch selection quality with *true per-TX ages*.
+//
+// The paper's abstract: throughput degrades because of the transactions'
+// cumulative age. Over six consecutive epochs (epoch window comparable to
+// the two-phase latencies, so scheduling actually matters) we track every
+// block's btime (txn/age) and measure the age of each committed TX at the
+// instant its final block commits. Refused shards carry over with the
+// Fig. 3 latency rebase (l' = max(0, l − t_prev)), so nothing is dropped —
+// only deferred, and deferral is visible in the age accounting.
+//
+// Three final-committee policies, the middle two under the SAME capacity:
+//   wait-for-all — no capacity, DDL = max latency: commits everything;
+//   DP (throughput) — packs the most TXs into Ĉ, blind to freshness;
+//   MVCom (SE) — maximizes Eq. (2): freshness-aware selection under Ĉ.
+// Expected: DP and MVCom commit the same volume, but MVCom's committed mix
+// is younger (lower mean per-TX age) — the Fig.-10 valuable-degree story at
+// per-transaction granularity.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/dynamic_programming.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "mvcom/se_scheduler.hpp"
+#include "txn/age.hpp"
+#include "txn/trace_generator.hpp"
+#include "txn/workload.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::core::EpochInstance;
+using mvcom::txn::ShardBlocks;
+using mvcom::txn::Trace;
+
+constexpr std::size_t kCommittees = 20;
+constexpr std::size_t kEpochs = 6;
+constexpr double kFinalConsensusSeconds = 54.5;
+
+enum class Policy { kWaitAll, kThroughputDp, kMvcomSe };
+
+struct PendingShard {
+  std::vector<std::size_t> block_indices;
+  std::uint64_t txs = 0;
+  double latency = 0.0;
+  bool carried = false;
+};
+
+struct RunTotals {
+  std::uint64_t committed_txs = 0;
+  double total_age = 0.0;  // Σ per-TX (commit − btime) over committed TXs
+  std::uint64_t deferred_txs = 0;  // still pending after the last epoch
+};
+
+RunTotals run(const Trace& trace, Policy policy, std::uint64_t seed) {
+  Rng rng(seed);
+  mvcom::txn::WorkloadConfig wc;  // latency model parameters only
+  wc.num_committees = kCommittees;
+
+  const double trace_start = trace.blocks.front().btime;
+  const double span = trace.blocks.back().btime - trace_start + 1.0;
+  const double window = span / static_cast<double>(kEpochs);
+
+  RunTotals totals;
+  std::vector<PendingShard> carried;
+  double prev_ddl = 0.0;
+
+  std::size_t next_block = 0;
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const double window_end =
+        trace_start + static_cast<double>(epoch + 1) * window;
+
+    std::vector<std::size_t> fresh;
+    while (next_block < trace.blocks.size() &&
+           trace.blocks[next_block].btime < window_end) {
+      fresh.push_back(next_block++);
+    }
+
+    // Carried shards re-enter with the Fig.-3 latency rebase; fresh blocks
+    // are dealt round-robin over new committees.
+    std::vector<PendingShard> shards = std::move(carried);
+    carried.clear();
+    for (PendingShard& s : shards) {
+      s.latency = std::max(0.0, s.latency - prev_ddl);
+      s.carried = true;
+    }
+    std::vector<PendingShard> dealt(kCommittees);
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      dealt[i % kCommittees].block_indices.push_back(fresh[i]);
+    }
+    for (PendingShard& s : dealt) {
+      if (s.block_indices.empty()) continue;
+      const auto lat = mvcom::txn::sample_two_phase_latency(rng, wc);
+      s.latency = lat.formation + lat.consensus;
+      shards.push_back(std::move(s));
+    }
+    if (shards.empty()) continue;
+
+    std::uint64_t pending_txs = 0;
+    for (PendingShard& s : shards) {
+      s.txs = 0;
+      for (const std::size_t b : s.block_indices) {
+        s.txs += trace.blocks[b].tx_count;
+      }
+      pending_txs += s.txs;
+    }
+
+    std::vector<mvcom::core::Committee> committees;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      committees.push_back({static_cast<std::uint32_t>(i), shards[i].txs,
+                            shards[i].latency});
+    }
+
+    std::vector<bool> keep(shards.size(), policy == Policy::kWaitAll);
+    if (policy != Policy::kWaitAll) {
+      const std::uint64_t capacity = (pending_txs * 6) / 10;  // same Ĉ
+      const EpochInstance instance(committees, /*alpha=*/1.5, capacity, 0);
+      mvcom::core::Selection best;
+      if (policy == Policy::kThroughputDp) {
+        mvcom::baselines::DynamicProgramming dp;  // throughput objective
+        const auto result = dp.solve(instance);
+        if (result.feasible) best = result.best;
+      } else {
+        mvcom::core::SeParams params;
+        params.threads = 8;
+        params.max_iterations = 2000;
+        mvcom::core::SeScheduler scheduler(instance, params, seed + epoch);
+        const auto result = scheduler.run();
+        if (result.feasible) best = result.best;
+      }
+      for (std::size_t i = 0; i < best.size(); ++i) keep[i] = best[i] != 0;
+    }
+
+    // DDL = slowest *selected* submission; commit after final consensus.
+    double ddl = 0.0;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (keep[i]) ddl = std::max(ddl, shards[i].latency);
+    }
+    const double commit = window_end + ddl + kFinalConsensusSeconds;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (keep[i]) {
+        ShardBlocks provenance;
+        provenance.block_indices = shards[i].block_indices;
+        const auto age =
+            mvcom::txn::shard_age_profile(trace, provenance, commit);
+        totals.committed_txs += age.tx_count;
+        totals.total_age += age.total_age;
+      } else {
+        carried.push_back(std::move(shards[i]));
+      }
+    }
+    prev_ddl = ddl;
+  }
+
+  for (const PendingShard& s : carried) totals.deferred_txs += s.txs;
+  return totals;
+}
+
+}  // namespace
+
+int main() {
+  Rng trace_rng(2016);
+  mvcom::txn::TraceGeneratorConfig tc;
+  // Compressed timescale: blocks every ~15 s so an epoch window (~1500 s)
+  // is commensurate with the two-phase latencies (~650 s) — the regime
+  // where committee scheduling can move per-TX ages at all.
+  tc.num_blocks = 600;
+  tc.target_total_txs = 600'000;
+  tc.mean_interblock_seconds = 15.0;
+  const Trace trace = mvcom::txn::generate_trace(tc, trace_rng);
+
+  mvcom::bench::print_header(
+      "Extension",
+      "multi-epoch per-TX ages under equal capacity (6 epochs, C=60%)");
+  std::printf("  %-16s %14s %16s %14s\n", "policy", "TXs committed",
+              "mean TX age(s)", "TXs deferred");
+  const struct {
+    Policy policy;
+    const char* name;
+  } kPolicies[] = {
+      {Policy::kWaitAll, "wait-for-all"},
+      {Policy::kThroughputDp, "DP (capacity)"},
+      {Policy::kMvcomSe, "MVCom (SE)"},
+  };
+  for (const auto& entry : kPolicies) {
+    RunTotals totals{};
+    constexpr std::uint64_t kSeeds = 3;
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const RunTotals one = run(trace, entry.policy, seed * 10);
+      totals.committed_txs += one.committed_txs;
+      totals.total_age += one.total_age;
+      totals.deferred_txs += one.deferred_txs;
+    }
+    std::printf("  %-16s %14llu %16.1f %14llu\n", entry.name,
+                static_cast<unsigned long long>(totals.committed_txs / kSeeds),
+                totals.total_age / static_cast<double>(totals.committed_txs),
+                static_cast<unsigned long long>(totals.deferred_txs / kSeeds));
+  }
+  std::printf("  (expected shape: under the same capacity, MVCom commits a "
+              "similar volume to DP at a lower mean per-TX age — the "
+              "freshness-aware selection; wait-for-all is the no-capacity "
+              "reference)\n");
+  return 0;
+}

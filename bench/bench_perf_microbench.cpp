@@ -1,0 +1,109 @@
+// Google-benchmark microbenchmarks for the hot paths: SE iteration cost vs
+// |I|, SwapSet operations, SHA-256 throughput, one full PBFT instance, and
+// the DP knapsack solve. These quantify the "executes in real time" claim
+// of §IV-A — one SE iteration must be far cheaper than the inter-report
+// arrival gaps it schedules around.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/dynamic_programming.hpp"
+#include "common/rng.hpp"
+#include "consensus/pbft.hpp"
+#include "crypto/sha256.hpp"
+#include "mvcom/se_scheduler.hpp"
+#include "mvcom/swap_set.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::common::SimTime;
+
+mvcom::core::EpochInstance make_instance(std::size_t n) {
+  Rng rng(1);
+  std::vector<mvcom::core::Committee> committees;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mvcom::core::Committee c{static_cast<std::uint32_t>(i),
+                             500 + rng.below(1500),
+                             600.0 + rng.uniform(0.0, 900.0)};
+    total += c.txs;
+    committees.push_back(c);
+  }
+  return mvcom::core::EpochInstance(std::move(committees), 1.5,
+                                    (total * 7) / 10, 0);
+}
+
+void BM_SeStep(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)));
+  mvcom::core::SeParams params;
+  params.threads = 1;
+  mvcom::core::SeScheduler scheduler(instance, params, 3);
+  for (auto _ : state) {
+    scheduler.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SeStep)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+
+void BM_SwapSetSwap(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mvcom::core::Selection x(n, 0);
+  for (std::size_t i = 0; i < n / 2; ++i) x[i] = 1;
+  mvcom::core::SwapSet set(x);
+  Rng rng(5);
+  for (auto _ : state) {
+    const auto out = set.sample_selected(rng);
+    const auto in = set.sample_unselected(rng);
+    set.swap(out, in);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_SwapSetSwap)->Arg(100)->Arg(1000);
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mvcom::crypto::Sha256::hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void BM_PbftInstance(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto payload = mvcom::crypto::Sha256::hash("p");
+  for (auto _ : state) {
+    mvcom::sim::Simulator simulator;
+    mvcom::net::Network network(
+        simulator, Rng(7),
+        std::make_shared<mvcom::net::UniformLatency>(SimTime(0.5),
+                                                     SimTime(1.5)),
+        n);
+    std::vector<mvcom::net::NodeId> members(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      members[i] = static_cast<mvcom::net::NodeId>(i);
+    }
+    mvcom::consensus::PbftCluster cluster(simulator, network, {}, Rng(8),
+                                          members);
+    benchmark::DoNotOptimize(cluster.run_consensus(payload));
+  }
+}
+BENCHMARK(BM_PbftInstance)->Arg(4)->Arg(16)->Arg(32);
+
+void BM_DpSolve(benchmark::State& state) {
+  const auto instance = make_instance(static_cast<std::size_t>(state.range(0)));
+  mvcom::baselines::DynamicProgramming dp;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.solve(instance));
+  }
+}
+BENCHMARK(BM_DpSolve)->Arg(50)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Theory benches — the paper's analytical results, regenerated numerically:
+//   * Theorem 1: mixing-time lower/upper bounds vs |I| and β (Remark 2's
+//     O(4^|I|)·O(e^β)·O(ln 1/ε) scaling);
+//   * Remark 1: log-sum-exp optimality loss (1/β)·log|F| vs β;
+//   * Lemma 3: Gillespie occupancy vs the Eq.-(6) stationary distribution
+//     (detailed balance, measured as total-variation distance);
+//   * Lemma 4 / Theorem 2: exact failure perturbation on an enumerable
+//     instance — d_TV ≤ 1/2 and utility shift ≤ max_g U_g;
+//   * Ablation: converged utility and iterations-to-converge vs β and τ.
+
+#include <cstdio>
+
+#include "analysis/markov.hpp"
+#include "analysis/spectral.hpp"
+#include "analysis/theory.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "mvcom/se_scheduler.hpp"
+
+namespace {
+
+mvcom::core::EpochInstance enumerable_instance(std::uint64_t seed) {
+  mvcom::common::Rng rng(seed);
+  std::vector<mvcom::core::Committee> committees;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    committees.push_back({i, 2 + rng.below(8), rng.uniform(0.0, 5.0)});
+  }
+  return mvcom::core::EpochInstance(std::move(committees), 1.0, 10'000, 0);
+}
+
+}  // namespace
+
+int main() {
+  // ---- Theorem 1 -----------------------------------------------------------
+  mvcom::bench::print_header("Theorem 1",
+                             "mixing-time bounds (natural-log scale)");
+  std::printf("  %6s %6s %16s %16s\n", "|I|", "beta", "ln(lower bound)",
+              "ln(upper bound)");
+  for (const std::size_t committees : {50u, 200u, 500u, 1000u}) {
+    for (const double beta : {1.0, 2.0}) {
+      const auto bounds = mvcom::analysis::mixing_time_bounds(
+          committees, beta, 0.0, /*utility_spread=*/100.0, /*epsilon=*/0.01);
+      std::printf("  %6zu %6.1f %16.1f %16.1f\n", committees, beta,
+                  bounds.log_lower, bounds.log_upper);
+    }
+  }
+  std::printf("  (expected shape: upper bound grows ~|I|·ln4 per committee "
+              "and with beta — Remark 2)\n");
+
+  // ---- Remark 1 --------------------------------------------------------------
+  mvcom::bench::print_header("Remark 1", "optimality loss (1/beta)·log|F|");
+  for (const double beta : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    mvcom::bench::print_row(
+        "loss at |I|=500, beta=" + std::to_string(beta),
+        mvcom::analysis::log_sum_exp_optimality_loss(500, beta));
+  }
+
+  // ---- Lemma 3 (detailed balance, simulated) ---------------------------------
+  mvcom::bench::print_header(
+      "Lemma 3", "Gillespie occupancy vs Eq.(6) stationary distribution");
+  const auto instance = enumerable_instance(3);
+  const auto space = mvcom::analysis::enumerate_space(instance, 5);
+  const auto p_star = mvcom::analysis::stationary_distribution(space, 1.0);
+  std::printf("  %12s %16s\n", "transitions", "TV distance");
+  for (const std::size_t transitions : {1'000u, 10'000u, 100'000u, 500'000u}) {
+    mvcom::common::Rng rng(9);
+    const auto occupancy =
+        mvcom::analysis::simulate_occupancy(space, 1.0, 0.0, transitions, rng);
+    std::printf("  %12zu %16.4f\n", transitions,
+                mvcom::analysis::total_variation(p_star, occupancy));
+  }
+  std::printf("  (expected shape: TV distance shrinks toward 0 — the chain "
+              "is time-reversible with the Eq.(6) stationary law)\n");
+
+  // ---- Lemma 4 / Theorem 2 ----------------------------------------------------
+  mvcom::bench::print_header("Lemma 4 / Theorem 2",
+                             "exact failure perturbation (|I|=10, full F)");
+  const auto full = mvcom::analysis::enumerate_full_space(instance);
+  std::printf("  %8s %12s %14s %18s %14s\n", "failed", "d_TV", "(bound 0.5)",
+              "utility shift", "(bound maxU)");
+  for (const std::uint32_t failed : {0u, 3u, 7u}) {
+    const auto p = mvcom::analysis::failure_perturbation(full, 2.0, failed);
+    std::printf("  %8u %12.4f %14s %18.4f %14.1f\n", failed, p.tv_distance,
+                p.tv_distance <= 0.5 ? "OK" : "VIOLATED", p.utility_shift,
+                p.max_trimmed_utility);
+  }
+  mvcom::bench::print_row("|F\\G| / |F| (Lemma 4 counting step)",
+                          mvcom::analysis::failure_perturbation(full, 2.0, 0)
+                              .trimmed_fraction);
+
+  // ---- Spectral gap (citation [19]) -------------------------------------------
+  mvcom::bench::print_header(
+      "Spectral", "exact relaxation-time sandwich vs beta (|I|=10, n=5)");
+  const auto gap_space = mvcom::analysis::enumerate_space(instance, 5);
+  std::printf("  %6s %12s %16s %16s %16s\n", "beta", "gap(ctmc)",
+              "gap(uniformized)", "t_mix lower", "t_mix upper");
+  for (const double beta : {0.5, 1.0, 2.0, 4.0}) {
+    const auto spectral =
+        mvcom::analysis::spectral_gap(gap_space, beta, 0.0);
+    std::printf("  %6.1f %12.4f %16.6f %16.3f %16.3f\n", beta, spectral.gap,
+                spectral.uniformized_gap(), spectral.t_mix_lower(0.01),
+                spectral.t_mix_upper(0.01));
+  }
+  std::printf("  (expected shape: the *uniformized* gap — mixing per\n"
+              "   transition — shrinks as beta grows: sharper stationary\n"
+              "   laws need more transitions, Remark 2 made exact)\n");
+
+  // ---- Ablation: beta and tau -------------------------------------------------
+  mvcom::bench::print_header(
+      "Ablation", "SE converged utility vs beta/tau (|I|=50, C=50K, a=1.5)");
+  const auto trace = mvcom::bench::paper_trace();
+  const auto se_instance = mvcom::bench::paper_instance(
+      trace, 17, /*num_committees=*/50, /*capacity=*/50'000, /*alpha=*/1.5,
+      /*n_min=*/0);
+  std::printf("  %6s %6s %16s %14s\n", "beta", "tau", "converged U",
+              "iterations");
+  for (const double beta : {0.5, 1.0, 2.0, 4.0}) {
+    for (const double tau : {0.0, 1.0}) {
+      mvcom::core::SeParams params;
+      params.beta = beta;
+      params.tau = tau;
+      params.threads = 10;
+      params.max_iterations = 3000;
+      mvcom::core::SeScheduler scheduler(se_instance, params, 23);
+      const auto result = scheduler.run();
+      std::printf("  %6.1f %6.1f %16.1f %14zu\n", beta, tau, result.utility,
+                  result.iterations);
+    }
+  }
+  std::printf("  (expected shape: moderate beta converges well; tau shifts "
+              "rates uniformly and barely matters — Eq. 7 intuition)\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+#pragma once
+// Shared machinery for the figure-reproduction benches: paper-parameterized
+// workload construction (§VI-A) and plain-text series printing. Every bench
+// binary regenerates one figure of the paper's evaluation and prints the
+// same rows/series that figure plots.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mvcom/problem.hpp"
+#include "txn/trace_generator.hpp"
+#include "txn/workload.hpp"
+
+namespace mvcom::bench {
+
+/// The paper's dataset: the synthetic stand-in for the 1378-block / 1.5M-TX
+/// January-2016 Bitcoin snapshot (see DESIGN.md §3). Deterministic.
+[[nodiscard]] txn::Trace paper_trace(std::uint64_t seed = 2016);
+
+/// Builds one epoch's MVCom instance at the paper's parameter points:
+/// |I| committees, capacity Ĉ, weight α, N_min (0 unless the experiment is
+/// an online case, where the paper fixes N_min = 50%·|I|).
+[[nodiscard]] core::EpochInstance paper_instance(const txn::Trace& trace,
+                                                 std::uint64_t epoch_seed,
+                                                 std::size_t num_committees,
+                                                 std::uint64_t capacity,
+                                                 double alpha,
+                                                 std::size_t n_min);
+
+/// Prints a section header for one figure/panel.
+void print_header(const std::string& figure, const std::string& subtitle);
+
+/// Prints an iteration-utility series, downsampled to ~`points` rows.
+void print_trace(const std::string& label, std::span<const double> trace,
+                 std::size_t points = 25);
+
+/// Prints one "name: value" summary row.
+void print_row(const std::string& name, double value);
+void print_row(const std::string& name, const std::string& value);
+
+}  // namespace mvcom::bench

@@ -1,0 +1,108 @@
+#include "analysis/convergence.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mvcom::analysis {
+
+MixingEstimate estimate_mixing_time(const SolutionSpace& space, double beta,
+                                    double tau, double epsilon, double horizon,
+                                    std::size_t trajectories,
+                                    std::size_t checkpoints,
+                                    common::Rng& rng) {
+  if (space.states.empty() || trajectories == 0 || checkpoints == 0) {
+    throw std::invalid_argument("estimate_mixing_time: degenerate inputs");
+  }
+
+  // Precompute the rate graph (Eq. 7) in natural units. Intended for small
+  // enumerable instances where beta * utility spread stays well within
+  // double range.
+  std::unordered_map<std::uint32_t, std::size_t> index;
+  for (std::size_t s = 0; s < space.states.size(); ++s) {
+    index.emplace(space.states[s], s);
+  }
+  struct Edge {
+    std::size_t to;
+    double rate;
+  };
+  std::vector<std::vector<Edge>> edges(space.states.size());
+  std::vector<double> exit_rate(space.states.size(), 0.0);
+  for (std::size_t s = 0; s < space.states.size(); ++s) {
+    const std::uint32_t mask = space.states[s];
+    for (std::uint32_t out = 0; out < 32; ++out) {
+      if (!(mask & (std::uint32_t{1} << out))) continue;
+      for (std::uint32_t in = 0; in < 32; ++in) {
+        if (mask & (std::uint32_t{1} << in)) continue;
+        const std::uint32_t next =
+            (mask & ~(std::uint32_t{1} << out)) | (std::uint32_t{1} << in);
+        const auto it = index.find(next);
+        if (it == index.end()) continue;
+        const double rate = std::exp(
+            -tau + 0.5 * beta * (space.utilities[it->second] -
+                                 space.utilities[s]));
+        edges[s].push_back({it->second, rate});
+        exit_rate[s] += rate;
+      }
+    }
+  }
+
+  // Worst-case start per the Theorem-1 intuition: the minimum-utility state.
+  const std::size_t start = static_cast<std::size_t>(
+      std::min_element(space.utilities.begin(), space.utilities.end()) -
+      space.utilities.begin());
+
+  // Geometric checkpoint grid.
+  MixingEstimate estimate;
+  estimate.checkpoint_times.resize(checkpoints);
+  const double first = horizon / std::pow(2.0, static_cast<double>(checkpoints - 1));
+  for (std::size_t c = 0; c < checkpoints; ++c) {
+    estimate.checkpoint_times[c] =
+        first * std::pow(2.0, static_cast<double>(c));
+  }
+
+  std::vector<std::vector<double>> occupancy(
+      checkpoints, std::vector<double>(space.states.size(), 0.0));
+
+  for (std::size_t run = 0; run < trajectories; ++run) {
+    std::size_t state = start;
+    double t = 0.0;
+    std::size_t next_checkpoint = 0;
+    while (next_checkpoint < checkpoints) {
+      if (edges[state].empty()) break;  // absorbing (cannot happen if connected)
+      const double dwell = rng.exponential(1.0 / exit_rate[state]);
+      // Record every checkpoint the dwell interval covers.
+      while (next_checkpoint < checkpoints &&
+             estimate.checkpoint_times[next_checkpoint] <= t + dwell) {
+        occupancy[next_checkpoint][state] += 1.0;
+        ++next_checkpoint;
+      }
+      t += dwell;
+      double pick = rng.uniform01() * exit_rate[state];
+      std::size_t chosen = edges[state].back().to;
+      for (const Edge& e : edges[state]) {
+        pick -= e.rate;
+        if (pick <= 0.0) {
+          chosen = e.to;
+          break;
+        }
+      }
+      state = chosen;
+    }
+  }
+
+  const auto p_star = stationary_distribution(space, beta);
+  estimate.tv_distance.resize(checkpoints);
+  for (std::size_t c = 0; c < checkpoints; ++c) {
+    for (double& v : occupancy[c]) v /= static_cast<double>(trajectories);
+    estimate.tv_distance[c] = total_variation(occupancy[c], p_star);
+    if (estimate.t_mix < 0.0 && estimate.tv_distance[c] <= epsilon) {
+      estimate.t_mix = estimate.checkpoint_times[c];
+    }
+  }
+  return estimate;
+}
+
+}  // namespace mvcom::analysis

@@ -1,0 +1,36 @@
+#pragma once
+// Empirical mixing-time measurement for the SE Markov chain on enumerable
+// instances — the experimental counterpart of Theorem 1.
+//
+// t_mix(ε) is defined (Eq. 11) as the first time the total-variation
+// distance between the time-t distribution and the stationary law drops
+// below ε, maximized over starting states. We estimate the distribution
+// H_t(f) by running many independent Gillespie trajectories from the
+// worst-case start (the minimum-utility state — the paper's bounds are
+// driven by U_max − U_min) and measuring d_TV against Eq. (6) on a grid of
+// time checkpoints.
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/markov.hpp"
+#include "common/rng.hpp"
+
+namespace mvcom::analysis {
+
+struct MixingEstimate {
+  std::vector<double> checkpoint_times;
+  std::vector<double> tv_distance;   // d_TV(H_t, p*) per checkpoint
+  /// First checkpoint time with d_TV <= epsilon; negative when not reached.
+  double t_mix = -1.0;
+};
+
+/// Estimates mixing of the Eq.-(7) CTMC on `space`. `trajectories`
+/// independent runs, each sampled at `checkpoints` geometrically spaced
+/// instants up to `horizon` (simulated chain-time units).
+[[nodiscard]] MixingEstimate estimate_mixing_time(
+    const SolutionSpace& space, double beta, double tau, double epsilon,
+    double horizon, std::size_t trajectories, std::size_t checkpoints,
+    common::Rng& rng);
+
+}  // namespace mvcom::analysis

@@ -1,0 +1,25 @@
+#pragma once
+// Exhaustive search — exact ground truth for small instances (|I| <= 24).
+// Used by property tests to certify the SE scheduler's near-optimality and
+// by the theory benches to enumerate the full solution space F.
+
+#include "baselines/solver.hpp"
+
+namespace mvcom::baselines {
+
+class Exhaustive final : public Solver {
+ public:
+  /// Throws std::invalid_argument when the instance exceeds `max_size`
+  /// committees (2^|I| states — keep it honest).
+  explicit Exhaustive(std::size_t max_size = 24) : max_size_(max_size) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Exhaustive";
+  }
+  [[nodiscard]] SolverResult solve(const EpochInstance& instance) override;
+
+ private:
+  std::size_t max_size_;
+};
+
+}  // namespace mvcom::baselines

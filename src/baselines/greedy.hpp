@@ -1,0 +1,19 @@
+#pragma once
+// Greedy density heuristic (extra baseline, not in the paper): sort by
+// marginal utility per transaction (gain_i / s_i), pack while the capacity
+// allows, then repair to N_min. One-shot and deterministic — a useful
+// sanity floor for the metaheuristics.
+
+#include "baselines/solver.hpp"
+
+namespace mvcom::baselines {
+
+class Greedy final : public Solver {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Greedy";
+  }
+  [[nodiscard]] SolverResult solve(const EpochInstance& instance) override;
+};
+
+}  // namespace mvcom::baselines

@@ -1,0 +1,33 @@
+#include "baselines/random_select.hpp"
+
+#include <limits>
+
+namespace mvcom::baselines {
+
+SolverResult RandomSelect::solve(const EpochInstance& instance) {
+  common::Rng rng(seed_);
+  SolverResult result;
+  double best_utility = -std::numeric_limits<double>::infinity();
+  Selection best;
+  result.utility_trace.reserve(params_.trials);
+  for (std::size_t trial = 0; trial < params_.trials; ++trial) {
+    Selection x(instance.size(), 0);
+    for (auto& bit : x) bit = rng.bernoulli(0.5) ? 1 : 0;
+    if (repair_random(instance, x, rng) && instance.feasible(x)) {
+      const double u = instance.utility(x);
+      if (u > best_utility) {
+        best_utility = u;
+        best = x;
+      }
+    }
+    result.utility_trace.push_back(
+        best.empty() ? std::numeric_limits<double>::quiet_NaN()
+                     : best_utility);
+  }
+  result.iterations = params_.trials;
+  result.best = std::move(best);
+  finalize_result(instance, result);
+  return result;
+}
+
+}  // namespace mvcom::baselines

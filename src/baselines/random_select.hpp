@@ -1,0 +1,29 @@
+#pragma once
+// Random-selection floor baseline: a uniformly random subset repaired to
+// feasibility, best of `trials` draws. Any scheduler worth running must
+// clear this bar; benches use it to contextualize the SE-vs-baseline gaps.
+
+#include "baselines/solver.hpp"
+
+namespace mvcom::baselines {
+
+struct RandomSelectParams {
+  std::size_t trials = 64;
+};
+
+class RandomSelect final : public Solver {
+ public:
+  RandomSelect(RandomSelectParams params, std::uint64_t seed)
+      : params_(params), seed_(seed) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "Random";
+  }
+  [[nodiscard]] SolverResult solve(const EpochInstance& instance) override;
+
+ private:
+  RandomSelectParams params_;
+  std::uint64_t seed_;
+};
+
+}  // namespace mvcom::baselines

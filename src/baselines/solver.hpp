@@ -1,0 +1,60 @@
+#pragma once
+// Common interface for the committee-selection solvers compared in §VI:
+// the SE algorithm (src/mvcom) against Simulated Annealing, Dynamic
+// Programming, and the Whale Optimization Algorithm, plus two extras used
+// as ground truth and sanity baselines (Exhaustive, Greedy).
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mvcom/problem.hpp"
+
+namespace mvcom::baselines {
+
+using core::Committee;
+using core::EpochInstance;
+using core::Selection;
+using core::SelectionStats;
+
+struct SolverResult {
+  Selection best;                     // empty when infeasible
+  double utility = 0.0;
+  double valuable_degree = 0.0;
+  bool feasible = false;
+  std::size_t iterations = 0;
+  /// Best-feasible-so-far utility after each iteration (iterative solvers;
+  /// single-shot solvers emit one point).
+  std::vector<double> utility_trace;
+};
+
+/// Abstract solver.
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual SolverResult solve(const EpochInstance& instance) = 0;
+};
+
+/// Repairs a selection toward feasibility with *informed* choices:
+///  1. while over capacity: drop the selected committee with the worst
+///     marginal utility per transaction;
+///  2. while below N_min: add the unselected committee with the smallest
+///     shard that still fits (N_min needs bodies, cheap ones first).
+/// Returns false when no feasible repair exists (capacity and N_min clash).
+/// Note: this is itself a decent greedy heuristic — only Greedy and
+/// final-answer fixups use it. Metaheuristic baselines use repair_random
+/// so their reported quality reflects their own search, not the repair's.
+bool repair(const EpochInstance& instance, Selection& x);
+
+/// Neutral feasibility repair: drops uniformly random selected committees
+/// until capacity holds, then adds random fitting committees until N_min.
+/// Same return contract as repair().
+bool repair_random(const EpochInstance& instance, Selection& x,
+                   common::Rng& rng);
+
+/// Fills in utility/valuable-degree fields from a candidate selection.
+void finalize_result(const EpochInstance& instance, SolverResult& result);
+
+}  // namespace mvcom::baselines

@@ -1,0 +1,81 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mvcom::common {
+
+CsvRow parse_csv_line(std::string_view line, char sep) {
+  if (line.find('"') != std::string_view::npos) {
+    throw std::invalid_argument("quoted CSV fields are not supported");
+  }
+  CsvRow fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(line.substr(start));
+      break;
+    }
+    fields.emplace_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+CsvFile read_csv(const std::filesystem::path& path, bool expect_header,
+                 char sep) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open CSV file: " + path.string());
+  }
+  CsvFile file;
+  std::string line;
+  std::size_t arity = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    CsvRow row = parse_csv_line(line, sep);
+    if (first) {
+      arity = row.size();
+      first = false;
+      if (expect_header) {
+        file.header = std::move(row);
+        continue;
+      }
+    } else if (row.size() != arity) {
+      throw std::runtime_error("inconsistent CSV arity in " + path.string());
+    }
+    file.rows.push_back(std::move(row));
+  }
+  return file;
+}
+
+struct CsvWriter::Impl {
+  std::ofstream out;
+  char sep;
+};
+
+CsvWriter::CsvWriter(const std::filesystem::path& path, char sep)
+    : impl_(new Impl{std::ofstream(path), sep}) {
+  if (!impl_->out) {
+    delete impl_;
+    throw std::runtime_error("cannot open CSV file for writing: " +
+                             path.string());
+  }
+}
+
+CsvWriter::~CsvWriter() { delete impl_; }
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os << impl_->sep;
+    os << fields[i];
+  }
+  impl_->out << os.str() << '\n';
+}
+
+}  // namespace mvcom::common

@@ -1,0 +1,46 @@
+#pragma once
+// Minimal CSV reading/writing for the transaction-trace dataset and for the
+// experiment harness's series dumps. Deliberately simple: no quoting or
+// embedded separators are needed by any producer in this repository, and the
+// reader rejects rather than misparses such input.
+
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mvcom::common {
+
+/// One parsed CSV row.
+using CsvRow = std::vector<std::string>;
+
+/// Parses a single line into fields separated by `sep`. Throws
+/// std::invalid_argument on quote characters (unsupported dialect).
+[[nodiscard]] CsvRow parse_csv_line(std::string_view line, char sep = ',');
+
+/// Reads an entire file. If `expect_header` is true the first row is treated
+/// as a header and returned separately. Throws std::runtime_error when the
+/// file cannot be opened or rows have inconsistent arity.
+struct CsvFile {
+  CsvRow header;            // empty when expect_header was false
+  std::vector<CsvRow> rows;
+};
+[[nodiscard]] CsvFile read_csv(const std::filesystem::path& path,
+                               bool expect_header, char sep = ',');
+
+/// Streaming CSV writer with RAII file ownership.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path, char sep = ',');
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  struct Impl;
+  Impl* impl_;  // pimpl keeps <fstream> out of this header
+};
+
+}  // namespace mvcom::common

@@ -1,0 +1,89 @@
+#include "common/rng.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace mvcom::common {
+
+std::uint64_t Rng::below(std::uint64_t n) noexcept {
+  assert(n > 0);
+  // Bitmask-with-rejection: draw within the smallest enclosing power of two
+  // and reject out-of-range values. Unbiased; expected < 2 draws.
+  if (n == 1) return 0;
+  const int bits = 64 - std::countl_zero(n - 1);
+  const std::uint64_t mask =
+      bits >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << bits) - 1);
+  for (;;) {
+    const std::uint64_t candidate = (*this)() & mask;
+    if (candidate < n) return candidate;
+  }
+}
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  // Inverse CDF; 1 - u in (0, 1] avoids log(0).
+  return -mean * std::log1p(-uniform01());
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  if (has_spare_) {
+    has_spare_ = false;
+    return mu + sigma * spare_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_ = v * factor;
+  has_spare_ = true;
+  return mu + sigma * u * factor;
+}
+
+double Rng::lognormal_mean_sd(double mean, double sd) noexcept {
+  assert(mean > 0.0 && sd > 0.0);
+  // Solve for the underlying normal parameters from the target moments:
+  //   mean = exp(mu + sigma^2/2),  var = (exp(sigma^2)-1) exp(2mu+sigma^2).
+  const double variance = sd * sd;
+  const double sigma2 = std::log1p(variance / (mean * mean));
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return std::exp(normal(mu, std::sqrt(sigma2)));
+}
+
+std::uint64_t Rng::poisson(double lambda) noexcept {
+  assert(lambda >= 0.0);
+  if (lambda <= 0.0) return 0;
+  if (lambda < 64.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-lambda);
+    double product = uniform01();
+    std::uint64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= uniform01();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction — adequate for workload
+  // synthesis where lambda is the per-block transaction count (~10^3).
+  const double draw = normal(lambda, std::sqrt(lambda));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  std::vector<std::size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(below(n - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace mvcom::common

@@ -1,0 +1,140 @@
+#pragma once
+// Deterministic pseudo-random number generation for the MVCom simulator.
+//
+// Every stochastic component in this repository draws from an explicitly
+// seeded engine so that traces, experiments, and tests are reproducible
+// bit-for-bit across runs and machines. We implement xoshiro256** (public
+// domain, Blackman & Vigna) seeded through SplitMix64, rather than relying on
+// std::mt19937_64, because (a) the state is tiny and cheap to fork per
+// component, and (b) the output sequence is fully specified — unlike the
+// standard distributions, whose exact sequences are implementation-defined.
+// All distribution transforms below are therefore hand-rolled and portable.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include <cstddef>
+
+namespace mvcom::common {
+
+/// SplitMix64 — used solely to expand a 64-bit seed into engine state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — general-purpose 64-bit engine with 256-bit state.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Forks an independent child engine. The child's seed is drawn from this
+  /// engine, so a single top-level seed deterministically derives the whole
+  /// tree of per-component engines.
+  Rng fork() noexcept { return Rng((*this)()); }
+
+  // ---- Distribution transforms (portable, fully specified) ----
+
+  /// Uniform real in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, n) using Lemire's multiply-shift rejection
+  /// method (unbiased). Precondition: n > 0.
+  std::uint64_t below(std::uint64_t n) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept { return uniform01() < p; }
+
+  /// Exponential variate with the given mean (= 1/rate). Used heavily by the
+  /// SE algorithm's countdown timers (Eq. 8 of the paper) and by the PoW
+  /// solve-latency model. Precondition: mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// Standard normal variate (Marsaglia polar method, portable).
+  double normal(double mu = 0.0, double sigma = 1.0) noexcept;
+
+  /// Log-normal variate parameterized by the *target* mean and standard
+  /// deviation of the log-normal itself (not of the underlying normal).
+  double lognormal_mean_sd(double mean, double sd) noexcept;
+
+  /// Poisson variate (Knuth for small lambda, normal approximation above 64).
+  std::uint64_t poisson(double lambda) noexcept;
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) uniformly (partial Fisher–Yates).
+  /// Precondition: k <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  // Cached spare normal variate for the polar method.
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace mvcom::common

@@ -1,0 +1,58 @@
+#pragma once
+// Strongly typed simulated time. All latencies in the Elastico/PBFT
+// substrate and the MVCom scheduler are expressed in simulated seconds; a
+// dedicated type prevents accidental mixing with iteration counts, epoch
+// indices, or transaction counts.
+
+#include <compare>
+#include <limits>
+
+namespace mvcom::common {
+
+/// A point or duration on the simulated clock, in seconds.
+/// Plain double under the hood; the wrapper exists for type safety in
+/// interfaces, not for arithmetic ceremony — both roles (instant/duration)
+/// share the type, mirroring how the paper treats latency values.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+  explicit constexpr SimTime(double seconds) noexcept : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const noexcept { return seconds_; }
+
+  /// Sentinel "never" — used for ping timeouts of failed committees (§V-A:
+  /// "its connection latency can be tested as infinity").
+  static constexpr SimTime infinity() noexcept {
+    return SimTime(std::numeric_limits<double>::infinity());
+  }
+  static constexpr SimTime zero() noexcept { return SimTime(0.0); }
+
+  [[nodiscard]] constexpr bool is_infinite() const noexcept {
+    return seconds_ == std::numeric_limits<double>::infinity();
+  }
+
+  friend constexpr auto operator<=>(SimTime, SimTime) noexcept = default;
+
+  constexpr SimTime& operator+=(SimTime rhs) noexcept {
+    seconds_ += rhs.seconds_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime rhs) noexcept {
+    seconds_ -= rhs.seconds_;
+    return *this;
+  }
+  friend constexpr SimTime operator+(SimTime a, SimTime b) noexcept {
+    return SimTime(a.seconds_ + b.seconds_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) noexcept {
+    return SimTime(a.seconds_ - b.seconds_);
+  }
+  friend constexpr SimTime operator*(double k, SimTime t) noexcept {
+    return SimTime(k * t.seconds_);
+  }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+}  // namespace mvcom::common

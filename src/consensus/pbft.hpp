@@ -1,0 +1,199 @@
+#pragma once
+// Message-level PBFT (Castro & Liskov, OSDI'99) simulation — the
+// intra-committee consensus of Elastico stage 3.
+//
+// Each committee runs one PBFT instance per epoch to agree on its shard
+// block. The simulation is faithful at the message level:
+//   * three phases: PRE-PREPARE (leader), PREPARE, COMMIT;
+//   * quorums: a replica is *prepared* after a matching pre-prepare plus 2f
+//     PREPAREs, *committed-local* after being prepared plus 2f+1 COMMITs;
+//   * view change: replicas that fail to commit before a timeout broadcast
+//     VIEW-CHANGE for the next view; the new leader, on collecting 2f+1,
+//     issues NEW-VIEW and re-proposes (we re-propose the original payload —
+//     a simplification of the prepared-certificate transfer that preserves
+//     both safety and liveness for the single-slot instances used here);
+//   * faults: silent (crashed) replicas, and an equivocating leader that
+//     proposes two different payloads to two halves of the committee —
+//     quorum intersection must prevent conflicting commits (property-tested).
+//
+// Latency realism: every delivered message incurs a per-replica verification
+// delay (exponential, scaled by the replica's speed factor) on top of the
+// network link delay — this is where the heterogeneous processing
+// capability of committees (paper §I) enters the two-phase latency.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "crypto/sha256.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvcom::consensus {
+
+using common::Rng;
+using common::SimTime;
+using crypto::Digest;
+using net::NodeId;
+
+/// How a faulty replica misbehaves.
+enum class FaultMode {
+  kNone,
+  kSilent,       // crashed: never sends, never processes
+  kEquivocate,   // as leader, proposes payload A to one half and B to the other
+};
+
+struct PbftConfig {
+  SimTime view_change_timeout = SimTime(60.0);
+  /// Mean of the per-message verification delay for a speed-1 replica.
+  SimTime verification_mean = SimTime(0.5);
+  /// Hard horizon: consensus aborts (committed=false) past this point.
+  SimTime horizon = SimTime(3600.0);
+};
+
+/// Outcome of one consensus instance.
+struct PbftResult {
+  bool committed = false;          // did a quorum commit?
+  Digest committed_digest{};       // the agreed payload (when committed)
+  SimTime latency = SimTime::zero();  // time until 2f+1 replicas committed
+  std::uint64_t view_changes = 0;  // number of NEW-VIEW activations
+  std::uint64_t messages = 0;      // protocol messages accepted by the network
+  /// Per-replica commit instants; SimTime::infinity() for never-committed.
+  std::vector<SimTime> replica_commit_times;
+};
+
+/// One PBFT committee. Owns its replicas' protocol state; network and
+/// simulator are borrowed (shared across committees by the Elastico layer).
+class PbftCluster {
+ public:
+  /// `members` maps replica index r to its network node id — Elastico packs
+  /// many committees into one Network and committee membership is scattered
+  /// (assigned by PoW hash), so the mapping is explicit. n = members.size().
+  PbftCluster(sim::Simulator& simulator, net::Network& network,
+              PbftConfig config, Rng rng, std::vector<NodeId> members);
+
+  /// Marks replica `r` faulty. Must be called before run_consensus.
+  void set_fault(std::size_t r, FaultMode mode);
+
+  /// Processing-speed factor of replica `r` (>1 = slower verification).
+  void set_speed_factor(std::size_t r, double factor);
+
+  /// f — the number of Byzantine replicas the quorum sizes tolerate.
+  [[nodiscard]] std::size_t max_faulty() const noexcept {
+    return (members_.size() - 1) / 3;
+  }
+  [[nodiscard]] std::size_t num_replicas() const noexcept {
+    return members_.size();
+  }
+
+  /// 2f+1 — the prepare/commit quorum size.
+  [[nodiscard]] std::size_t quorum_size() const noexcept {
+    return 2 * max_faulty() + 1;
+  }
+
+  /// Safety introspection: true when every replica that committed in the
+  /// last instance committed the same digest. Adversarial tests (e.g.
+  /// equivocating leader) assert this after every run.
+  [[nodiscard]] bool committed_digests_consistent() const;
+
+  /// Arms one single-slot consensus instance on `payload` without driving
+  /// the simulator — the Elastico pipeline starts many committees this way
+  /// and lets them progress concurrently. `on_decided` fires exactly once:
+  /// when a quorum commits, or at the horizon with committed=false.
+  void start_consensus(const Digest& payload,
+                       std::function<void(const PbftResult&)> on_decided);
+
+  /// Blocking convenience: start_consensus + drive the simulator until the
+  /// instance decides. Other pending simulator events run too.
+  PbftResult run_consensus(const Digest& payload);
+
+ private:
+  enum class Phase : std::uint8_t {
+    kPrePrepare,
+    kPrepare,
+    kCommit,
+    kViewChange,
+    kNewView,
+  };
+
+  struct Message {
+    Phase phase;
+    std::uint64_t view;
+    Digest digest;
+    std::size_t sender;  // replica index within the cluster
+  };
+
+  /// Per-view protocol bookkeeping of one replica.
+  struct ViewState {
+    std::optional<Digest> preprepared;
+    std::map<Digest, std::set<std::size_t>> prepares;
+    std::map<Digest, std::set<std::size_t>> commits;
+    bool sent_prepare = false;
+    bool sent_commit = false;
+    bool prepared = false;
+  };
+
+  struct Replica {
+    FaultMode fault = FaultMode::kNone;
+    double speed_factor = 1.0;
+    std::uint64_t view = 0;
+    std::map<std::uint64_t, ViewState> views;
+    std::map<std::uint64_t, std::set<std::size_t>> view_changes;  // target->senders
+    bool committed = false;
+    Digest committed_digest{};
+    SimTime commit_time = SimTime::infinity();
+    sim::EventId view_timer{};
+    /// Highest view this replica has voted a VIEW-CHANGE for. Escalates by
+    /// one on every timeout without progress, so a run of faulty leaders
+    /// cannot stall the protocol forever (liveness under repeated leader
+    /// failure).
+    std::uint64_t view_change_target = 0;
+  };
+
+  [[nodiscard]] std::size_t leader_of(std::uint64_t view) const noexcept {
+    return view % members_.size();
+  }
+  [[nodiscard]] std::size_t quorum() const noexcept {
+    return 2 * max_faulty() + 1;
+  }
+  [[nodiscard]] NodeId node_of(std::size_t r) const noexcept {
+    return members_[r];
+  }
+
+  void send(std::size_t from, std::size_t to, Message msg);
+  void broadcast(std::size_t from, const Message& msg);
+  void handle(std::size_t r, const Message& msg);
+  void on_preprepare(std::size_t r, const Message& msg);
+  void on_prepare(std::size_t r, const Message& msg);
+  void on_commit(std::size_t r, const Message& msg);
+  void on_view_change(std::size_t r, const Message& msg);
+  void on_new_view(std::size_t r, const Message& msg);
+  void try_prepare(std::size_t r);
+  void try_commit(std::size_t r);
+  void enter_view(std::size_t r, std::uint64_t view, const Digest& digest);
+  void arm_view_timer(std::size_t r);
+  void propose(std::size_t leader);
+  void note_replica_committed(std::size_t r);
+  void finalize(bool committed_quorum, const Digest& digest);
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  PbftConfig config_;
+  Rng rng_;
+  std::vector<NodeId> members_;
+  std::vector<Replica> replicas_;
+  Digest payload_{};
+  Digest equivocation_payload_{};
+  std::size_t committed_replicas_ = 0;
+  PbftResult result_;
+  bool instance_done_ = false;
+  SimTime instance_start_ = SimTime::zero();
+  sim::EventId horizon_event_{};
+  std::function<void(const PbftResult&)> on_decided_;
+};
+
+}  // namespace mvcom::consensus

@@ -1,0 +1,59 @@
+#include "crypto/merkle.hpp"
+
+#include <cassert>
+
+namespace mvcom::crypto {
+
+Digest MerkleTree::combine(const Digest& left, const Digest& right) noexcept {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(left.data(), left.size()));
+  h.update(std::span<const std::uint8_t>(right.data(), right.size()));
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) {
+    root_ = Sha256::hash(std::string_view{});
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& below = levels_.back();
+    std::vector<Digest> above;
+    above.reserve((below.size() + 1) / 2);
+    for (std::size_t i = 0; i < below.size(); i += 2) {
+      const Digest& left = below[i];
+      const Digest& right = (i + 1 < below.size()) ? below[i + 1] : below[i];
+      above.push_back(combine(left, right));
+    }
+    levels_.push_back(std::move(above));
+  }
+  root_ = levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  assert(index < leaf_count_);
+  MerkleProof proof;
+  std::size_t pos = index;
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling =
+        (pos % 2 == 0) ? (pos + 1 < nodes.size() ? pos + 1 : pos) : pos - 1;
+    proof.push_back({nodes[sibling], /*sibling_is_left=*/pos % 2 == 1});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Digest& leaf, const MerkleProof& proof,
+                        const Digest& root) noexcept {
+  Digest running = leaf;
+  for (const ProofStep& step : proof) {
+    running = step.sibling_is_left ? combine(step.sibling, running)
+                                   : combine(running, step.sibling);
+  }
+  return running == root;
+}
+
+}  // namespace mvcom::crypto

@@ -1,0 +1,67 @@
+#include "crypto/pow.hpp"
+
+#include <cassert>
+#include <limits>
+
+namespace mvcom::crypto {
+
+PowTarget PowTarget::from_difficulty_bits(int bits) noexcept {
+  assert(bits >= 0 && bits < 64);
+  return PowTarget{std::numeric_limits<std::uint64_t>::max() >> bits};
+}
+
+double PowTarget::expected_attempts() const noexcept {
+  if (leading64_below == 0) return std::numeric_limits<double>::infinity();
+  // Success probability per attempt is target / 2^64.
+  return 0x1.0p64 / static_cast<double>(leading64_below);
+}
+
+Digest pow_digest(std::string_view epoch_randomness, std::string_view identity,
+                  std::uint64_t nonce) noexcept {
+  Sha256 h;
+  h.update(epoch_randomness);
+  h.update("|");
+  h.update(identity);
+  h.update("|");
+  h.update(std::to_string(nonce));
+  return h.finalize();
+}
+
+std::optional<PowSolution> solve(std::string_view epoch_randomness,
+                                 std::string_view identity, PowTarget target,
+                                 std::uint64_t max_attempts,
+                                 std::uint64_t start_nonce) {
+  for (std::uint64_t i = 0; i < max_attempts; ++i) {
+    const std::uint64_t nonce = start_nonce + i;
+    Digest d = pow_digest(epoch_randomness, identity, nonce);
+    if (leading64(d) < target.leading64_below) {
+      return PowSolution{nonce, d};
+    }
+  }
+  return std::nullopt;
+}
+
+bool verify(std::string_view epoch_randomness, std::string_view identity,
+            PowTarget target, const PowSolution& solution) noexcept {
+  const Digest d = pow_digest(epoch_randomness, identity, solution.nonce);
+  return d == solution.digest && leading64(d) < target.leading64_below;
+}
+
+std::uint32_t committee_of(const Digest& digest, int committee_bits) noexcept {
+  assert(committee_bits > 0 && committee_bits <= 32);
+  std::uint32_t tail = 0;
+  for (std::size_t i = digest.size() - 4; i < digest.size(); ++i) {
+    tail = (tail << 8) | digest[i];
+  }
+  return tail & ((1u << committee_bits) - 1u);
+}
+
+common::SimTime model_solve_latency(common::Rng& rng,
+                                    common::SimTime expected_solve_time,
+                                    double relative_hash_rate) {
+  assert(relative_hash_rate > 0.0);
+  return common::SimTime(
+      rng.exponential(expected_solve_time.seconds() / relative_hash_rate));
+}
+
+}  // namespace mvcom::crypto

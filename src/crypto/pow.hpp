@@ -1,0 +1,74 @@
+#pragma once
+// Proof-of-Work puzzle used by Elastico's committee-formation stage: each
+// node searches for a nonce such that SHA256(epoch_randomness || identity ||
+// nonce) falls below a difficulty target. The low-order bits of the solution
+// hash assign the node to a committee (Elastico §committee formation).
+//
+// Two facets are provided:
+//  * an *actual* solver (`solve`) that grinds real SHA-256 — used by unit
+//    tests and the quickstart example to demonstrate the mechanism; and
+//  * a *latency model* (`model_solve_latency`) used by the large-scale
+//    simulator, where grinding billions of hashes is pointless: solve time
+//    for a Poisson-process puzzle is exponentially distributed with mean
+//    (expected_attempts / hash_rate), exactly the paper's Exp(600 s) model.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mvcom::crypto {
+
+/// Difficulty expressed as "the leading 64 bits of the digest must be below
+/// this target". Smaller target = harder puzzle.
+struct PowTarget {
+  std::uint64_t leading64_below;
+
+  /// Target for which a single hash succeeds with probability 2^-bits.
+  [[nodiscard]] static PowTarget from_difficulty_bits(int bits) noexcept;
+
+  /// Expected number of hash attempts to find a solution.
+  [[nodiscard]] double expected_attempts() const noexcept;
+};
+
+/// A found PoW solution.
+struct PowSolution {
+  std::uint64_t nonce;
+  Digest digest;
+};
+
+/// Preimage convention shared by solver and verifier:
+/// SHA256(epoch_randomness || '|' || identity || '|' || decimal(nonce)).
+[[nodiscard]] Digest pow_digest(std::string_view epoch_randomness,
+                                std::string_view identity,
+                                std::uint64_t nonce) noexcept;
+
+/// Grinds nonces from `start_nonce`; gives up after `max_attempts`.
+[[nodiscard]] std::optional<PowSolution> solve(std::string_view epoch_randomness,
+                                               std::string_view identity,
+                                               PowTarget target,
+                                               std::uint64_t max_attempts,
+                                               std::uint64_t start_nonce = 0);
+
+/// Checks a claimed solution against the target.
+[[nodiscard]] bool verify(std::string_view epoch_randomness,
+                          std::string_view identity, PowTarget target,
+                          const PowSolution& solution) noexcept;
+
+/// Committee index = last `committee_bits` bits of the solution digest —
+/// the Elastico rule that a node's PoW randomly assigns its committee.
+[[nodiscard]] std::uint32_t committee_of(const Digest& digest,
+                                         int committee_bits) noexcept;
+
+/// Simulated solve latency for a node with `relative_hash_rate` (1.0 =
+/// reference node) on a puzzle whose reference-node expected solve time is
+/// `expected_solve_time`. Memoryless search => exponential distribution.
+[[nodiscard]] common::SimTime model_solve_latency(
+    common::Rng& rng, common::SimTime expected_solve_time,
+    double relative_hash_rate);
+
+}  // namespace mvcom::crypto

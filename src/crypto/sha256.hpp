@@ -1,0 +1,63 @@
+#pragma once
+// SHA-256 (FIPS 180-4), implemented from scratch with no external
+// dependencies. The Elastico substrate uses it for block hashes, Merkle
+// roots, and the PoW committee-election puzzle; the trace generator uses it
+// to synthesize Bitcoin-like block hashes.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace mvcom::crypto {
+
+/// A 256-bit digest.
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 hasher.
+///
+/// Usage:
+///   Sha256 h;
+///   h.update(data1); h.update(data2);
+///   Digest d = h.finalize();
+///
+/// finalize() may be called exactly once; the object is then spent.
+class Sha256 {
+ public:
+  Sha256() noexcept;
+
+  /// Absorbs `data` into the hash state.
+  void update(std::span<const std::uint8_t> data) noexcept;
+  void update(std::string_view text) noexcept;
+
+  /// Pads, finishes, and returns the digest.
+  [[nodiscard]] Digest finalize() noexcept;
+
+  /// One-shot helpers.
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) noexcept;
+  [[nodiscard]] static Digest hash(std::string_view text) noexcept;
+  /// Bitcoin-style double hash: SHA256(SHA256(x)).
+  [[nodiscard]] static Digest double_hash(std::string_view text) noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// Lowercase hex encoding of a digest.
+[[nodiscard]] std::string to_hex(const Digest& d);
+
+/// Interprets the first 8 bytes of the digest as a big-endian integer —
+/// the quantity compared against a PoW target.
+[[nodiscard]] std::uint64_t leading64(const Digest& d) noexcept;
+
+/// Number of leading zero bits in the digest.
+[[nodiscard]] int leading_zero_bits(const Digest& d) noexcept;
+
+}  // namespace mvcom::crypto

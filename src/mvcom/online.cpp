@@ -1,0 +1,129 @@
+#include "mvcom/online.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mvcom::core {
+
+OnlineCommitteeScheduler::OnlineCommitteeScheduler(
+    OnlineSchedulerConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {
+  if (config_.capacity == 0) {
+    throw std::invalid_argument("OnlineCommitteeScheduler: capacity > 0");
+  }
+  if (config_.expected_committees == 0) {
+    throw std::invalid_argument(
+        "OnlineCommitteeScheduler: expected_committees > 0");
+  }
+  if (config_.n_min_fraction < 0.0 || config_.n_min_fraction > 1.0 ||
+      config_.n_max_fraction <= 0.0 || config_.n_max_fraction > 1.0) {
+    throw std::invalid_argument(
+        "OnlineCommitteeScheduler: fractions in [0,1]");
+  }
+  const auto expected = static_cast<double>(config_.expected_committees);
+  n_min_ = static_cast<std::size_t>(config_.n_min_fraction * expected);
+  n_max_count_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(config_.n_max_fraction * expected)));
+}
+
+EpochInstance OnlineCommitteeScheduler::build_instance() const {
+  return EpochInstance::from_reports(reports_, config_.alpha,
+                                     config_.capacity, n_min_);
+}
+
+void OnlineCommitteeScheduler::try_bootstrap() {
+  if (scheduler_) return;
+  if (reports_.size() <= n_min_) return;
+  std::uint64_t total = 0;
+  for (const auto& r : reports_) total += r.tx_count;
+  if (total <= config_.capacity) return;  // capacity slack: nothing to do yet
+  // Alg. 1 line 1 satisfied: start exploring.
+  scheduler_.emplace(build_instance(), config_.se, seed_);
+}
+
+bool OnlineCommitteeScheduler::on_report(const txn::ShardReport& report) {
+  if (!listening_) return false;
+  const auto duplicate = std::any_of(
+      reports_.begin(), reports_.end(), [&](const txn::ShardReport& r) {
+        return r.committee_id == report.committee_id;
+      });
+  if (duplicate) return false;
+  reports_.push_back(report);
+  if (scheduler_) {
+    scheduler_->add_committee(
+        {report.committee_id, report.tx_count, report.two_phase_latency()});
+    explore(config_.iterations_per_event);
+  } else {
+    try_bootstrap();
+    if (scheduler_) explore(config_.iterations_per_event);
+  }
+  // Alg. 1 line 29: stop listening once N_max of the members arrived.
+  if (reports_.size() >= n_max_count_) listening_ = false;
+  return true;
+}
+
+void OnlineCommitteeScheduler::on_failure(std::uint32_t committee_id) {
+  const auto it = std::find_if(
+      reports_.begin(), reports_.end(), [&](const txn::ShardReport& r) {
+        return r.committee_id == committee_id;
+      });
+  if (it == reports_.end()) return;
+  reports_.erase(it);
+  if (scheduler_) {
+    if (reports_.empty()) {
+      scheduler_.reset();  // nothing left to schedule over
+    } else {
+      scheduler_->remove_committee(committee_id);
+      explore(config_.iterations_per_event);
+    }
+  }
+}
+
+bool OnlineCommitteeScheduler::on_recovery(const txn::ShardReport& report) {
+  // A recovery is a (re-)join; it may arrive even after listening stopped —
+  // the committee was already counted among the arrived (§VI-D, Fig. 9(a)).
+  const bool was_listening = listening_;
+  listening_ = true;
+  const bool accepted = on_report(report);
+  listening_ = was_listening && listening_;
+  return accepted;
+}
+
+void OnlineCommitteeScheduler::explore(std::size_t iterations) {
+  if (!scheduler_) return;
+  for (std::size_t i = 0; i < iterations; ++i) scheduler_->step();
+}
+
+SchedulingDecision OnlineCommitteeScheduler::decide() const {
+  SchedulingDecision decision;
+  if (reports_.empty()) return decision;
+
+  Selection best;
+  const EpochInstance instance = build_instance();
+  if (scheduler_) {
+    best = scheduler_->current_selection();
+    // The scheduler's internal instance matches reports_ (kept in lock-step
+    // by on_report/on_failure); guard regardless.
+    if (best.size() != instance.size()) best.clear();
+  }
+  if (best.empty()) {
+    // Not bootstrapped (capacity slack): permit everything if feasible.
+    Selection everyone(instance.size(), 1);
+    if (instance.feasible(everyone)) best = std::move(everyone);
+  }
+  if (best.empty() || !instance.feasible(best)) return decision;
+
+  decision.feasible = true;
+  decision.utility = instance.utility(best);
+  decision.valuable_degree = instance.valuable_degree(best);
+  decision.permitted_txs = instance.permitted_txs(best);
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    if (best[i]) {
+      decision.permitted_ids.push_back(instance.committees()[i].id);
+    }
+  }
+  return decision;
+}
+
+}  // namespace mvcom::core

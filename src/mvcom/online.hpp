@@ -1,0 +1,95 @@
+#pragma once
+// OnlineCommitteeScheduler — the deployment wrapper of Alg. 1, exactly the
+// interaction loop of Fig. 5/6: the final committee feeds committee reports
+// to the algorithm as they arrive; the algorithm bootstraps once scheduling
+// becomes worthwhile (line 1: enough committees AND the capacity binds),
+// keeps exploring between events, handles failures (leaves) detected by
+// ping timeouts, and stops listening once N_max of the expected member
+// committees have arrived (line 29).
+//
+// Usage per epoch:
+//   OnlineCommitteeScheduler scheduler(config, seed);
+//   for each arriving report r:   scheduler.on_report(r);
+//   on failure of committee id:   scheduler.on_failure(id);
+//   anytime:                      scheduler.explore(k);   // k SE iterations
+//   at the DDL:                   auto decision = scheduler.decide();
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mvcom/problem.hpp"
+#include "mvcom/se_scheduler.hpp"
+#include "txn/workload.hpp"
+
+namespace mvcom::core {
+
+struct OnlineSchedulerConfig {
+  double alpha = 1.5;
+  std::uint64_t capacity = 0;     // Ĉ — required, > 0
+  /// Number of member committees in the epoch; N_min/N_max fractions apply
+  /// to this count (paper §VI-A: N_min = 50%·|I|, N_max = 80%).
+  std::size_t expected_committees = 0;
+  double n_min_fraction = 0.5;
+  double n_max_fraction = 0.8;
+  /// SE iterations run opportunistically after every accepted event.
+  std::size_t iterations_per_event = 50;
+  SeParams se{};
+};
+
+/// The final decision for an epoch.
+struct SchedulingDecision {
+  bool feasible = false;
+  std::vector<std::uint32_t> permitted_ids;  // committee ids to include
+  double utility = 0.0;
+  double valuable_degree = 0.0;
+  std::uint64_t permitted_txs = 0;
+};
+
+class OnlineCommitteeScheduler {
+ public:
+  OnlineCommitteeScheduler(OnlineSchedulerConfig config, std::uint64_t seed);
+
+  /// A member committee submitted its shard. Returns false when the report
+  /// was refused because listening already stopped (N_max reached) or the
+  /// committee id was already seen.
+  bool on_report(const txn::ShardReport& report);
+
+  /// A committee was detected failed (ping → ∞, §V-A). No-op for ids not
+  /// currently tracked.
+  void on_failure(std::uint32_t committee_id);
+
+  /// A failed committee recovered and re-submitted.
+  bool on_recovery(const txn::ShardReport& report);
+
+  /// Runs `iterations` SE iterations if the algorithm has bootstrapped.
+  void explore(std::size_t iterations);
+
+  /// Alg. 1 line 1: has exploration started?
+  [[nodiscard]] bool bootstrapped() const noexcept {
+    return scheduler_.has_value();
+  }
+  /// Alg. 1 line 29: has the scheduler stopped accepting new reports?
+  [[nodiscard]] bool listening() const noexcept { return listening_; }
+  [[nodiscard]] std::size_t arrived() const noexcept {
+    return reports_.size();
+  }
+  [[nodiscard]] std::size_t n_min() const noexcept { return n_min_; }
+
+  /// Produces the current best selection (the epoch's final answer).
+  [[nodiscard]] SchedulingDecision decide() const;
+
+ private:
+  void try_bootstrap();
+  [[nodiscard]] EpochInstance build_instance() const;
+
+  OnlineSchedulerConfig config_;
+  std::uint64_t seed_;
+  std::size_t n_min_ = 0;
+  std::size_t n_max_count_ = 0;
+  bool listening_ = true;
+  std::vector<txn::ShardReport> reports_;  // live (non-failed) committees
+  std::optional<SeScheduler> scheduler_;
+};
+
+}  // namespace mvcom::core

@@ -1,0 +1,453 @@
+#include "mvcom/se_scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace mvcom::core {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Prefix sums of the sorted (ascending) shard sizes: smallest_prefix[n] is
+/// the minimum possible Σ s over any n-subset, so cardinality n admits a
+/// capacity-feasible subset iff smallest_prefix[n] <= Ĉ.
+std::vector<std::uint64_t> smallest_prefix_sums(const EpochInstance& inst) {
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(inst.size());
+  for (const Committee& c : inst.committees()) sizes.push_back(c.txs);
+  std::sort(sizes.begin(), sizes.end());
+  std::vector<std::uint64_t> prefix(sizes.size() + 1, 0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    prefix[i + 1] = prefix[i] + sizes[i];
+  }
+  return prefix;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SeExplorer
+// ---------------------------------------------------------------------------
+
+SeExplorer::SeExplorer(const EpochInstance* instance, const SeParams* params,
+                       common::Rng rng)
+    : instance_(instance), params_(params), rng_(rng) {
+  smallest_prefix_ = smallest_prefix_sums(*instance_);
+  refresh_caches();
+  // One solution per cardinality n = 1..|I| (slot n-1). The n = |I| slot is
+  // the static full-set solution of Alg. 1 line 25.
+  solutions_.resize(instance_->size());
+  for (std::size_t idx = 0; idx < solutions_.size(); ++idx) {
+    initialize_solution(solutions_[idx], idx + 1);
+  }
+}
+
+void SeExplorer::refresh_caches() {
+  const std::size_t total = instance_->size();
+  gain_.resize(total);
+  txs_.resize(total);
+  log_remaining_.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    gain_[i] = instance_->gain(i);
+    txs_[i] = instance_->committees()[i].txs;
+    // ln(|I| − n) for the solution at slot i (n = i + 1); the full-set slot
+    // never races, so its entry is unused.
+    const auto remaining = static_cast<double>(total - (i + 1));
+    log_remaining_[i] = remaining > 0.0 ? std::log(remaining) : 0.0;
+  }
+}
+
+void SeExplorer::initialize_solution(SolutionState& sol, std::size_t n) {
+  const std::size_t total = instance_->size();
+  sol.active = smallest_prefix_[n] <= instance_->capacity();
+  if (!sol.active) return;
+
+  // Alg. 2: resample random n-subsets until Cons. (4) holds; bounded tries,
+  // then fall back to the n smallest shards (feasible because active).
+  Selection x(total, 0);
+  bool ok = false;
+  for (int attempt = 0; attempt < params_->feasibility_retries && !ok;
+       ++attempt) {
+    std::fill(x.begin(), x.end(), 0);
+    std::uint64_t txs = 0;
+    for (const std::size_t i : rng_.sample_indices(total, n)) {
+      x[i] = 1;
+      txs += instance_->committees()[i].txs;
+    }
+    ok = txs <= instance_->capacity();
+  }
+  if (!ok) {
+    std::vector<std::size_t> order(total);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+      return instance_->committees()[a].txs < instance_->committees()[b].txs;
+    });
+    std::fill(x.begin(), x.end(), 0);
+    for (std::size_t r = 0; r < n; ++r) x[order[r]] = 1;
+  }
+  sol.set.rebuild(x);
+  recompute(sol);
+}
+
+void SeExplorer::recompute(SolutionState& sol) {
+  sol.utility = 0.0;
+  sol.txs = 0;
+  for (const std::uint32_t i : sol.set.selected()) {
+    sol.utility += gain_[i];
+    sol.txs += txs_[i];
+  }
+}
+
+void SeExplorer::step() {
+  if (params_->transition == SeTransition::kChainParallel) {
+    step_chain_parallel();
+  } else {
+    step_timer_race();
+  }
+}
+
+void SeExplorer::step_chain_parallel() {
+  // One Metropolis transition per solution. The per-cardinality chains are
+  // independent, and the acceptance ratio min(1, exp(β·ΔU)) equals the
+  // Eq.-(7) rate ratio q_{f,f'}/q_{f',f}, so each chain is reversible with
+  // the Eq.-(6) stationary law — the same chain the timer race realizes,
+  // advanced |I|−1 transitions per iteration.
+  const double beta = params_->beta;
+  const std::uint64_t capacity = instance_->capacity();
+  for (SolutionState& sol : solutions_) {
+    if (!sol.active) continue;
+    if (sol.set.selected_count() == 0 || sol.set.unselected_count() == 0) {
+      continue;  // the full-set solution has no swap moves
+    }
+    std::uint32_t out = 0;
+    std::uint32_t in = 0;
+    std::uint64_t new_txs = 0;
+    bool ok = false;
+    for (int attempt = 0; attempt < params_->feasibility_retries && !ok;
+         ++attempt) {
+      out = sol.set.sample_selected(rng_);
+      in = sol.set.sample_unselected(rng_);
+      new_txs = sol.txs - txs_[out] + txs_[in];
+      ok = new_txs <= capacity;
+    }
+    if (!ok) continue;
+    const double delta = gain_[in] - gain_[out];
+    if (delta < 0.0 && rng_.uniform01() >= std::exp(beta * delta)) {
+      continue;  // rejected downhill move
+    }
+    sol.set.swap(out, in);
+    sol.txs = new_txs;
+    sol.utility += delta;
+  }
+}
+
+void SeExplorer::step_timer_race() {
+  // The exponential-timer race (Alg. 3 + State Transit of Alg. 1): every
+  // active solution arms a timer for one candidate swap; the minimum timer
+  // fires and its swap is applied. Comparing log-timers is an exact,
+  // overflow-free monotone transform of the race.
+  const double beta = params_->beta;
+  const double tau = params_->tau;
+  const std::uint64_t capacity = instance_->capacity();
+
+  struct Winner {
+    std::size_t n_index = 0;
+    std::uint32_t out = 0;
+    std::uint32_t in = 0;
+    double delta = 0.0;
+    std::uint64_t new_txs = 0;
+    double log_timer = kInf;
+  } winner;
+
+  for (std::size_t idx = 0; idx < solutions_.size(); ++idx) {
+    SolutionState& sol = solutions_[idx];
+    if (!sol.active) continue;
+    if (sol.set.selected_count() == 0 || sol.set.unselected_count() == 0) {
+      continue;  // the full-set solution has no swap moves
+    }
+    // Candidate pair (ĩ, ï) — uniformly random, resampled until the swap
+    // respects the capacity constraint (bounded retries).
+    std::uint32_t out = 0;
+    std::uint32_t in = 0;
+    std::uint64_t new_txs = 0;
+    bool ok = false;
+    for (int attempt = 0; attempt < params_->feasibility_retries && !ok;
+         ++attempt) {
+      out = sol.set.sample_selected(rng_);
+      in = sol.set.sample_unselected(rng_);
+      new_txs = sol.txs - txs_[out] + txs_[in];
+      ok = new_txs <= capacity;
+    }
+    if (!ok) continue;
+
+    const double delta = gain_[in] - gain_[out];
+    // log T = τ − ½β(U_{f'} − U_f) − ln(|I| − n) + ln(Exp(1) draw),
+    // with ln(Exp(1)) = ln(−ln(1 − u)).
+    const double log_timer = tau - 0.5 * beta * delta - log_remaining_[idx] +
+                             std::log(-std::log1p(-rng_.uniform01()));
+    if (log_timer < winner.log_timer) {
+      winner = {idx, out, in, delta, new_txs, log_timer};
+    }
+  }
+
+  if (winner.log_timer == kInf) return;  // no solution could move this round
+  SolutionState& sol = solutions_[winner.n_index];
+  sol.set.swap(winner.out, winner.in);
+  sol.txs = winner.new_txs;
+  sol.utility += winner.delta;
+}
+
+std::optional<std::pair<double, const SwapSet*>> SeExplorer::best() const {
+  // λ-argmax of Alg. 1 lines 22–26: Ĉ holds by invariant; Cons. (3) filters
+  // cardinalities below N_min.
+  std::optional<std::pair<double, const SwapSet*>> best;
+  for (std::size_t idx = 0; idx < solutions_.size(); ++idx) {
+    const SolutionState& sol = solutions_[idx];
+    if (!sol.active) continue;
+    if (idx + 1 < instance_->n_min()) continue;
+    if (!best || sol.utility > best->first) {
+      best = {sol.utility, &sol.set};
+    }
+  }
+  return best;
+}
+
+void SeExplorer::adopt_if_better(const SwapSet& incumbent, double utility) {
+  const std::size_t n = incumbent.selected_count();
+  if (n == 0 || n > solutions_.size()) return;
+  SolutionState& sol = solutions_[n - 1];
+  if (sol.active && sol.utility < utility) {
+    sol.set = incumbent;
+    recompute(sol);
+  }
+
+  // Seed the incumbent's neighbor cardinalities too: chains only move by
+  // swaps (cardinality-preserving), so capacity-blocked local optima need a
+  // cardinality step to escape — the family provides it.
+  if (n >= 2) {
+    SolutionState& below = solutions_[n - 2];
+    if (below.active) {
+      // Drop the incumbent's worst-gain member.
+      std::uint32_t worst = incumbent.selected().front();
+      for (const std::uint32_t i : incumbent.selected()) {
+        if (gain_[i] < gain_[worst]) worst = i;
+      }
+      const double variant_utility = utility - gain_[worst];
+      if (below.utility < variant_utility) {
+        Selection x = incumbent.to_selection();
+        x[worst] = 0;
+        below.set.rebuild(x);
+        recompute(below);
+      }
+    }
+  }
+  if (n < solutions_.size()) {
+    SolutionState& above = solutions_[n];
+    if (above.active) {
+      // Add the best-gain non-member that still fits the capacity.
+      std::uint64_t txs = 0;
+      for (const std::uint32_t i : incumbent.selected()) txs += txs_[i];
+      std::size_t pick = gain_.size();
+      for (std::size_t i = 0; i < gain_.size(); ++i) {
+        if (incumbent.contains(static_cast<std::uint32_t>(i))) continue;
+        if (txs + txs_[i] > instance_->capacity()) continue;
+        if (pick == gain_.size() || gain_[i] > gain_[pick]) pick = i;
+      }
+      if (pick != gain_.size() &&
+          above.utility < utility + gain_[pick]) {
+        Selection x = incumbent.to_selection();
+        x[pick] = 1;
+        above.set.rebuild(x);
+        recompute(above);
+      }
+    }
+  }
+}
+
+void SeExplorer::rebind(const EpochInstance* instance,
+                        std::optional<std::uint32_t> removed_index) {
+  const EpochInstance* old_instance = instance_;
+  instance_ = instance;
+  smallest_prefix_ = smallest_prefix_sums(*instance_);
+  refresh_caches();
+  const std::size_t new_total = instance_->size();
+  const std::size_t old_total = old_instance->size();
+
+  std::vector<SolutionState> fresh(new_total);
+  const std::size_t carried = std::min(solutions_.size(), new_total);
+  for (std::size_t idx = 0; idx < carried; ++idx) {
+    SolutionState& old_sol = solutions_[idx];
+    const std::size_t n = idx + 1;
+    fresh[idx].active = smallest_prefix_[n] <= instance_->capacity();
+    if (!fresh[idx].active) continue;
+    const bool survivable =
+        old_sol.active &&
+        (!removed_index || !old_sol.set.contains(*removed_index));
+    if (!survivable) {
+      // Trimmed state (Fig. 7): the solution referenced the failed
+      // committee — draw a fresh feasible subset of the same cardinality.
+      initialize_solution(fresh[idx], n);
+      continue;
+    }
+    // Translate the surviving bitmap into the new index space.
+    Selection x(new_total, 0);
+    const Selection old_x = old_sol.set.to_selection();
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < old_total; ++r) {
+      if (removed_index && r == *removed_index) continue;
+      if (w < new_total) x[w] = old_x[r];
+      ++w;
+    }
+    fresh[idx].set.rebuild(x);
+    recompute(fresh[idx]);
+    if (fresh[idx].txs > instance_->capacity()) {
+      // Cannot happen on leave (Σ only shrinks) but guard regardless.
+      initialize_solution(fresh[idx], n);
+    }
+  }
+  solutions_ = std::move(fresh);
+  // Newly valid cardinalities (join events) get fresh solutions.
+  for (std::size_t idx = carried; idx < new_total; ++idx) {
+    initialize_solution(solutions_[idx], idx + 1);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SeScheduler
+// ---------------------------------------------------------------------------
+
+SeScheduler::SeScheduler(EpochInstance instance, SeParams params,
+                         std::uint64_t seed)
+    : instance_(std::move(instance)), params_(params) {
+  if (params_.threads == 0) {
+    throw std::invalid_argument("SeScheduler: threads (Γ) must be >= 1");
+  }
+  if (params_.beta <= 0.0) {
+    throw std::invalid_argument("SeScheduler: beta must be positive");
+  }
+  common::Rng root(seed);
+  explorers_.reserve(params_.threads);
+  for (std::size_t t = 0; t < params_.threads; ++t) {
+    explorers_.emplace_back(&instance_, &params_, root.fork());
+  }
+}
+
+void SeScheduler::step() {
+  for (SeExplorer& explorer : explorers_) explorer.step();
+  ++iteration_;
+  // Thread cooperation (§IV-D): periodically propagate the best solution so
+  // every thread's matching chain polishes the incumbent.
+  if (explorers_.size() > 1 && params_.share_interval > 0 &&
+      iteration_ % params_.share_interval == 0) {
+    double best_utility = -kInf;
+    const SwapSet* incumbent = nullptr;
+    for (const SeExplorer& explorer : explorers_) {
+      if (const auto b = explorer.best(); b && b->first > best_utility) {
+        best_utility = b->first;
+        incumbent = b->second;
+      }
+    }
+    if (incumbent) {
+      const SwapSet shared = *incumbent;  // copy: adopters mutate in place
+      for (SeExplorer& explorer : explorers_) {
+        explorer.adopt_if_better(shared, best_utility);
+      }
+    }
+  }
+}
+
+double SeScheduler::current_utility() const {
+  double best = kNaN;
+  for (const SeExplorer& explorer : explorers_) {
+    if (const auto b = explorer.best(); b && !(b->first <= best)) {
+      best = b->first;
+    }
+  }
+  return best;
+}
+
+Selection SeScheduler::current_selection() const {
+  double best = -kInf;
+  const SwapSet* chosen = nullptr;
+  for (const SeExplorer& explorer : explorers_) {
+    if (const auto b = explorer.best(); b && b->first > best) {
+      best = b->first;
+      chosen = b->second;
+    }
+  }
+  return chosen ? chosen->to_selection() : Selection{};
+}
+
+SeResult SeScheduler::run() {
+  SeResult result;
+  result.utility_trace.reserve(params_.max_iterations);
+  double best_utility = -kInf;
+  Selection best_selection;
+  std::size_t stale = 0;
+
+  for (std::size_t it = 0; it < params_.max_iterations; ++it) {
+    step();
+    const double u = current_utility();
+    result.utility_trace.push_back(u);
+    if (!std::isnan(u) && u > best_utility + params_.convergence_tol) {
+      best_utility = u;
+      best_selection = current_selection();
+      stale = 0;
+    } else {
+      ++stale;
+    }
+    if (stale >= params_.convergence_window) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.iterations = iteration_;
+  result.feasible = !best_selection.empty();
+  if (result.feasible) {
+    result.best = std::move(best_selection);
+    result.utility = best_utility;
+    result.valuable_degree = instance_.valuable_degree(result.best);
+  }
+  return result;
+}
+
+void SeScheduler::rebind_all(std::optional<std::uint32_t> removed_index) {
+  for (SeExplorer& explorer : explorers_) {
+    explorer.rebind(&instance_, removed_index);
+  }
+}
+
+void SeScheduler::add_committee(const Committee& committee) {
+  std::vector<Committee> committees = instance_.committees();
+  committees.push_back(committee);
+  // Deadline re-derives as max latency over the updated set (paper §III-A).
+  instance_ = EpochInstance(std::move(committees), instance_.alpha(),
+                            instance_.capacity(), instance_.n_min());
+  rebind_all(std::nullopt);
+}
+
+void SeScheduler::remove_committee(std::uint32_t committee_id) {
+  const auto& committees = instance_.committees();
+  const auto it = std::find_if(
+      committees.begin(), committees.end(),
+      [committee_id](const Committee& c) { return c.id == committee_id; });
+  if (it == committees.end()) return;
+  const auto removed_index =
+      static_cast<std::uint32_t>(std::distance(committees.begin(), it));
+  std::vector<Committee> survivors = committees;
+  survivors.erase(survivors.begin() + removed_index);
+  if (survivors.empty()) {
+    throw std::logic_error("SeScheduler: cannot remove the last committee");
+  }
+  instance_ = EpochInstance(std::move(survivors), instance_.alpha(),
+                            instance_.capacity(), instance_.n_min());
+  rebind_all(removed_index);
+}
+
+}  // namespace mvcom::core

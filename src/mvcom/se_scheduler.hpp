@@ -1,0 +1,185 @@
+#pragma once
+// The online distributed Stochastic-Exploration (SE) algorithm — the paper's
+// core contribution (Alg. 1–3).
+//
+// Markov-approximation background (§IV-B/C): associate every feasible
+// selection f with stationary probability p*_f ∝ exp(β·U_f) (Eq. 6). A
+// time-reversible continuous-time Markov chain over the per-cardinality
+// solution spaces realizes p* with transition rates
+//     q_{f,f'} = exp(−τ) · exp(½β(U_{f'} − U_f))                    (Eq. 7)
+// implemented by exponential countdown timers with mean
+//     exp(τ − ½β(U_{f'} − U_f)) / (|I| − n)                         (Eq. 8)
+// — one timer per parallel solution f_n (n = 1..|I|−1). When a timer
+// expires, its solution swaps the chosen pair (state transition) and
+// broadcasts RESET, refreshing every other timer.
+//
+// Implementation notes:
+//  * Timers race in log-space: log T_n = τ − ½βΔU_n − ln(|I|−n) + ln(−ln u),
+//    which is exact (monotone transform of the exponential race) and immune
+//    to exp() overflow when β·ΔU is large.
+//  * Capacity (Eq. 4) is enforced throughout: initial solutions are feasible
+//    (Alg. 2 lines 3–4) and candidate swaps that would exceed Ĉ are
+//    resampled; a cardinality n for which no capacity-feasible subset exists
+//    (Σ of the n smallest s_i > Ĉ) is marked inactive — the paper's Alg. 2
+//    would spin forever on such n.
+//  * N_min (Eq. 3) is enforced at selection time: the λ-argmax of Alg. 1
+//    lines 22–26 only admits solutions with n ≥ N_min.
+//  * Γ parallel execution threads (§IV-D, Fig. 5) are Γ independent
+//    explorer instances; one scheduler iteration steps each thread once and
+//    the reported utility is the best feasible solution across threads.
+//  * Dynamics (Alg. 1 lines 8–12, §V): join adds a committee and the new
+//    cardinality slot; leave (failure) trims every solution containing the
+//    failed committee by re-initialization — the trimmed space G of Fig. 7.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mvcom/problem.hpp"
+#include "mvcom/swap_set.hpp"
+
+namespace mvcom::core {
+
+/// How one scheduler iteration advances the solution family {f_n}. Both
+/// modes realize the same time-reversible chain with the Eq.-(6) stationary
+/// distribution (the per-cardinality chains are independent, so they may be
+/// advanced jointly or via the global race without changing the law).
+enum class SeTransition {
+  /// Every solution f_n performs one Metropolis-style transition per
+  /// iteration: propose a uniform feasible swap, accept with probability
+  /// min(1, exp(β·ΔU)) = min(1, q_{f,f'}/q_{f',f}). |I|−1 transitions per
+  /// iteration — convergence in iterations matches the paper's figures.
+  kChainParallel,
+  /// Alg. 3 verbatim: each solution arms an exponential timer with the
+  /// Eq.-(8) mean for one sampled candidate; the minimum timer fires, its
+  /// swap applies, and RESET refreshes every timer. One transition per
+  /// iteration — the literal discrete-event realization.
+  kTimerRace,
+};
+
+struct SeParams {
+  double beta = 2.0;   // approximation sharpness (paper default)
+  double tau = 0.0;    // rate-scaling constant (paper default)
+  std::size_t threads = 1;  // Γ — parallel execution threads
+  SeTransition transition = SeTransition::kChainParallel;
+  std::size_t max_iterations = 5000;
+  /// Converged when the best utility improves by less than `tol` over this
+  /// many consecutive iterations ("an empirical number of running
+  /// iterations", §IV-D Check Convergence).
+  std::size_t convergence_window = 300;
+  double convergence_tol = 1e-9;
+  /// Retries when proposing a capacity-feasible swap / initial subset.
+  int feasibility_retries = 16;
+  /// Every `share_interval` iterations the Γ threads exchange the best
+  /// solution (§IV-D: threads communicate "a very limited state information
+  /// such as the RESET signals and the current system utility"): each
+  /// thread's chain at the incumbent's cardinality adopts the incumbent if
+  /// it is better, so all threads polish the best candidate. 0 disables.
+  std::size_t share_interval = 100;
+};
+
+/// Outcome of a (converged) run.
+struct SeResult {
+  Selection best;           // best feasible selection found
+  double utility = 0.0;
+  double valuable_degree = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+  bool feasible = false;    // false when no (n >= N_min, capacity-ok) exists
+  std::vector<double> utility_trace;  // best feasible utility per iteration
+};
+
+/// One independent exploration thread: the solution family {f_n} + timers.
+class SeExplorer {
+ public:
+  SeExplorer(const EpochInstance* instance, const SeParams* params,
+             common::Rng rng);
+
+  /// One iteration: advances the family per SeParams::transition — either
+  /// one Metropolis move per solution (kChainParallel) or one global timer
+  /// expiry (kTimerRace; RESET implicitly refreshes all timers, which are
+  /// resampled on the next call).
+  void step();
+
+  /// Rebinds to a mutated instance after a join/leave event, carrying over
+  /// solutions that survive (leave: solutions containing `removed` are
+  /// re-initialized; join: pass std::nullopt).
+  void rebind(const EpochInstance* instance,
+              std::optional<std::uint32_t> removed_index);
+
+  /// Best solution among {f_n : n >= N_min, capacity ok}; nullopt when none.
+  [[nodiscard]] std::optional<std::pair<double, const SwapSet*>> best() const;
+
+  /// Thread cooperation: replaces this explorer's chain of the same
+  /// cardinality with `incumbent` when the incumbent is strictly better.
+  void adopt_if_better(const SwapSet& incumbent, double utility);
+
+ private:
+  struct SolutionState {
+    SwapSet set;
+    double utility = 0.0;
+    std::uint64_t txs = 0;   // Σ s_i over selected — capacity bookkeeping
+    bool active = false;     // false when no feasible subset of this size
+  };
+
+  void initialize_solution(SolutionState& sol, std::size_t n);
+  void recompute(SolutionState& sol);
+
+  void step_timer_race();
+  void step_chain_parallel();
+
+  /// Refreshes the flat per-committee caches from the bound instance.
+  void refresh_caches();
+
+  const EpochInstance* instance_;
+  const SeParams* params_;
+  common::Rng rng_;
+  std::vector<SolutionState> solutions_;  // index n-1 holds f_n
+  // Prefix sums of sorted s_i — O(1) "does cardinality n fit in Ĉ" test.
+  std::vector<std::uint64_t> smallest_prefix_;
+  // Flat copies of the instance's per-committee data — the step() race
+  // touches these millions of times per run; locality matters.
+  std::vector<double> gain_;
+  std::vector<std::uint64_t> txs_;
+  std::vector<double> log_remaining_;  // ln(|I| − n) per solution index
+
+  friend class SeScheduler;
+};
+
+/// The full scheduler: Γ explorer threads over a mutable committee set.
+class SeScheduler {
+ public:
+  SeScheduler(EpochInstance instance, SeParams params, std::uint64_t seed);
+
+  /// Runs until convergence or max_iterations; fills the utility trace.
+  SeResult run();
+
+  /// One global iteration: every explorer thread performs one transition.
+  void step();
+
+  /// Best feasible utility across threads right now; NaN when none feasible.
+  [[nodiscard]] double current_utility() const;
+  /// Best feasible selection across threads right now (empty when none).
+  [[nodiscard]] Selection current_selection() const;
+
+  [[nodiscard]] const EpochInstance& instance() const noexcept {
+    return instance_;
+  }
+  [[nodiscard]] std::size_t iteration() const noexcept { return iteration_; }
+
+  /// Online dynamics (Alg. 1 lines 8–12). Both reset convergence tracking.
+  void add_committee(const Committee& committee);
+  /// Removes by committee id (e.g. on failure). No-op for unknown ids.
+  void remove_committee(std::uint32_t committee_id);
+
+ private:
+  void rebind_all(std::optional<std::uint32_t> removed_index);
+
+  EpochInstance instance_;
+  SeParams params_;
+  std::vector<SeExplorer> explorers_;
+  std::size_t iteration_ = 0;
+};
+
+}  // namespace mvcom::core

@@ -1,0 +1,100 @@
+#pragma once
+// SwapSet — the index structure behind every Markov-chain solution f_n:
+// a partition of {0..I-1} into selected / unselected with O(1) uniform
+// sampling from either side and O(1) swap (the state transition of Alg. 3,
+// which flips exactly one x_i from 1 to 0 and another from 0 to 1).
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mvcom/problem.hpp"
+
+namespace mvcom::core {
+
+class SwapSet {
+ public:
+  SwapSet() = default;
+
+  /// Builds from a selection bitmap.
+  explicit SwapSet(const Selection& x) { rebuild(x); }
+
+  void rebuild(const Selection& x) {
+    selected_.clear();
+    unselected_.clear();
+    pos_.assign(x.size(), 0);
+    side_.assign(x.size(), 0);
+    for (std::uint32_t i = 0; i < x.size(); ++i) {
+      auto& list = x[i] ? selected_ : unselected_;
+      pos_[i] = static_cast<std::uint32_t>(list.size());
+      side_[i] = x[i] ? 1 : 0;
+      list.push_back(i);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return pos_.size();
+  }
+  [[nodiscard]] std::size_t selected_count() const noexcept {
+    return selected_.size();
+  }
+  [[nodiscard]] std::size_t unselected_count() const noexcept {
+    return unselected_.size();
+  }
+  [[nodiscard]] bool contains(std::uint32_t i) const {
+    return side_[i] != 0;
+  }
+
+  /// Uniform random selected element. Precondition: selected_count() > 0.
+  [[nodiscard]] std::uint32_t sample_selected(common::Rng& rng) const {
+    assert(!selected_.empty());
+    return selected_[rng.below(selected_.size())];
+  }
+  /// Uniform random unselected element. Precondition: unselected_count() > 0.
+  [[nodiscard]] std::uint32_t sample_unselected(common::Rng& rng) const {
+    assert(!unselected_.empty());
+    return unselected_[rng.below(unselected_.size())];
+  }
+
+  /// Applies the transition x_out: 1→0, x_in: 0→1.
+  void swap(std::uint32_t out, std::uint32_t in) {
+    assert(side_[out] == 1 && side_[in] == 0);
+    remove_from(selected_, out);
+    remove_from(unselected_, in);
+    side_[out] = 0;
+    pos_[out] = static_cast<std::uint32_t>(unselected_.size());
+    unselected_.push_back(out);
+    side_[in] = 1;
+    pos_[in] = static_cast<std::uint32_t>(selected_.size());
+    selected_.push_back(in);
+  }
+
+  /// Materializes the bitmap.
+  [[nodiscard]] Selection to_selection() const {
+    Selection x(pos_.size(), 0);
+    for (const std::uint32_t i : selected_) x[i] = 1;
+    return x;
+  }
+
+  [[nodiscard]] const std::vector<std::uint32_t>& selected() const noexcept {
+    return selected_;
+  }
+
+ private:
+  void remove_from(std::vector<std::uint32_t>& list, std::uint32_t value) {
+    const std::uint32_t p = pos_[value];
+    assert(p < list.size() && list[p] == value);
+    const std::uint32_t last = list.back();
+    list[p] = last;
+    pos_[last] = p;
+    list.pop_back();
+  }
+
+  std::vector<std::uint32_t> selected_;
+  std::vector<std::uint32_t> unselected_;
+  std::vector<std::uint32_t> pos_;   // position of i within its current list
+  std::vector<std::uint8_t> side_;   // 1 = selected, 0 = unselected
+};
+
+}  // namespace mvcom::core

@@ -1,0 +1,82 @@
+#pragma once
+// Link-latency models. Committees in the paper have heterogeneous network
+// connections; the simulator expresses that heterogeneity as per-link delay
+// distributions plus per-node slowdown factors.
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+
+namespace mvcom::net {
+
+using common::Rng;
+using common::SimTime;
+
+/// A distribution of one-way link delays.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+  /// Draws one delay. Must be non-negative.
+  [[nodiscard]] virtual SimTime sample(Rng& rng) const = 0;
+  /// Mean of the distribution (used by closed-form latency models).
+  [[nodiscard]] virtual SimTime mean() const noexcept = 0;
+};
+
+/// Constant delay.
+class FixedLatency final : public LatencyModel {
+ public:
+  explicit FixedLatency(SimTime delay) noexcept : delay_(delay) {}
+  [[nodiscard]] SimTime sample(Rng&) const override { return delay_; }
+  [[nodiscard]] SimTime mean() const noexcept override { return delay_; }
+
+ private:
+  SimTime delay_;
+};
+
+/// Uniform delay over [lo, hi].
+class UniformLatency final : public LatencyModel {
+ public:
+  UniformLatency(SimTime lo, SimTime hi) noexcept : lo_(lo), hi_(hi) {}
+  [[nodiscard]] SimTime sample(Rng& rng) const override {
+    return SimTime(rng.uniform(lo_.seconds(), hi_.seconds()));
+  }
+  [[nodiscard]] SimTime mean() const noexcept override {
+    return SimTime(0.5 * (lo_.seconds() + hi_.seconds()));
+  }
+
+ private:
+  SimTime lo_;
+  SimTime hi_;
+};
+
+/// Exponential delay with given mean.
+class ExponentialLatency final : public LatencyModel {
+ public:
+  explicit ExponentialLatency(SimTime mean_delay) noexcept : mean_(mean_delay) {}
+  [[nodiscard]] SimTime sample(Rng& rng) const override {
+    return SimTime(rng.exponential(mean_.seconds()));
+  }
+  [[nodiscard]] SimTime mean() const noexcept override { return mean_; }
+
+ private:
+  SimTime mean_;
+};
+
+/// Log-normal delay (heavy right tail — the usual WAN shape) parameterized
+/// by its own mean and standard deviation.
+class LognormalLatency final : public LatencyModel {
+ public:
+  LognormalLatency(SimTime mean_delay, SimTime sd) noexcept
+      : mean_(mean_delay), sd_(sd) {}
+  [[nodiscard]] SimTime sample(Rng& rng) const override {
+    return SimTime(rng.lognormal_mean_sd(mean_.seconds(), sd_.seconds()));
+  }
+  [[nodiscard]] SimTime mean() const noexcept override { return mean_; }
+
+ private:
+  SimTime mean_;
+  SimTime sd_;
+};
+
+}  // namespace mvcom::net

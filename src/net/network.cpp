@@ -1,0 +1,74 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace mvcom::net {
+
+Network::Network(sim::Simulator& simulator, Rng rng,
+                 std::shared_ptr<const LatencyModel> link_model,
+                 std::size_t node_count)
+    : simulator_(simulator),
+      rng_(rng),
+      link_model_(std::move(link_model)),
+      factors_(node_count, 1.0),
+      failed_(node_count, false) {
+  if (!link_model_) {
+    throw std::invalid_argument("Network: link model must not be null");
+  }
+}
+
+void Network::set_node_factor(NodeId node, double factor) {
+  assert(factor > 0.0);
+  factors_.at(node) = factor;
+}
+
+double Network::node_factor(NodeId node) const { return factors_.at(node); }
+
+void Network::set_failed(NodeId node, bool failed) {
+  failed_.at(node) = failed;
+}
+
+bool Network::is_failed(NodeId node) const { return failed_.at(node); }
+
+SimTime Network::sample_delay(NodeId from, NodeId to) {
+  const double scale = factors_.at(from) * factors_.at(to);
+  return SimTime(scale * link_model_->sample(rng_).seconds());
+}
+
+void Network::set_loss_probability(double p) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("Network: loss probability in [0, 1)");
+  }
+  loss_ = p;
+}
+
+bool Network::send(NodeId from, NodeId to, std::function<void()> on_deliver) {
+  if (failed_.at(from) || failed_.at(to)) {
+    ++dropped_;
+    return false;
+  }
+  if (loss_ > 0.0 && rng_.bernoulli(loss_)) {
+    ++dropped_;
+    return false;
+  }
+  ++sent_;
+  simulator_.schedule_after(sample_delay(from, to), std::move(on_deliver));
+  return true;
+}
+
+void Network::broadcast(
+    NodeId from,
+    const std::function<std::function<void()>(NodeId)>& make_handler) {
+  for (NodeId to = 0; to < factors_.size(); ++to) {
+    if (to == from) continue;
+    send(from, to, make_handler(to));
+  }
+}
+
+SimTime Network::ping_rtt(NodeId from, NodeId to) {
+  if (failed_.at(from) || failed_.at(to)) return SimTime::infinity();
+  return sample_delay(from, to) + sample_delay(to, from);
+}
+
+}  // namespace mvcom::net

@@ -1,0 +1,88 @@
+#pragma once
+// Point-to-point message fabric over the discrete-event simulator.
+//
+// Delivery semantics: sends between live nodes always arrive, after a delay
+// drawn from the link's latency model scaled by both endpoints' slowdown
+// factors. Sends to or from a failed node are dropped — this is how a
+// committee under DoS attack (paper §V-A) manifests: its pings never return,
+// so its measured latency reads as infinity.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "net/latency.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvcom::net {
+
+using NodeId = std::uint32_t;
+
+/// The simulated network connecting `node_count` nodes.
+class Network {
+ public:
+  /// Takes a private RNG (fork one from the experiment's root engine) and a
+  /// latency model shared by all links.
+  Network(sim::Simulator& simulator, Rng rng,
+          std::shared_ptr<const LatencyModel> link_model,
+          std::size_t node_count);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return factors_.size();
+  }
+
+  /// Per-node delay multiplier (>= 1 slow node, < 1 fast node). Models
+  /// heterogeneous connectivity. Precondition: factor > 0.
+  void set_node_factor(NodeId node, double factor);
+  [[nodiscard]] double node_factor(NodeId node) const;
+
+  /// Marks a node failed/recovered. Failed nodes neither send nor receive.
+  void set_failed(NodeId node, bool failed);
+  [[nodiscard]] bool is_failed(NodeId node) const;
+
+  /// Independent per-message loss probability (0 = reliable, the default).
+  /// Lost messages count as dropped in the telemetry. Quorum-based
+  /// protocols (PBFT) survive moderate loss through their redundancy and
+  /// view-change retries — tested in test_pbft_adversarial.
+  void set_loss_probability(double p);
+  [[nodiscard]] double loss_probability() const noexcept { return loss_; }
+
+  /// Samples the one-way delay from `from` to `to` without sending.
+  [[nodiscard]] SimTime sample_delay(NodeId from, NodeId to);
+
+  /// Sends a message: schedules `on_deliver` after a sampled delay, unless
+  /// either endpoint is failed (then the message is silently dropped).
+  /// Returns true if the message was accepted into the network.
+  bool send(NodeId from, NodeId to, std::function<void()> on_deliver);
+
+  /// Convenience broadcast from `from` to every other live node.
+  /// `make_handler(to)` constructs the per-recipient delivery action.
+  void broadcast(NodeId from,
+                 const std::function<std::function<void()>(NodeId)>& make_handler);
+
+  /// Ping round-trip estimate: 2x one-way mean for live nodes, infinity for
+  /// failed ones. This is the failure detector the final committee runs.
+  [[nodiscard]] SimTime ping_rtt(NodeId from, NodeId to);
+
+  // Telemetry.
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+    return dropped_;
+  }
+
+ private:
+  sim::Simulator& simulator_;
+  Rng rng_;
+  std::shared_ptr<const LatencyModel> link_model_;
+  std::vector<double> factors_;
+  std::vector<bool> failed_;
+  double loss_ = 0.0;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace mvcom::net

@@ -1,0 +1,317 @@
+#include "sharding/elastico.hpp"
+
+#include "sharding/overlay.hpp"
+#include "sharding/randomness.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "crypto/merkle.hpp"
+#include "crypto/pow.hpp"
+#include "crypto/sha256.hpp"
+
+namespace mvcom::sharding {
+namespace {
+
+/// Minimum PBFT committee: n = 4 tolerates f = 1.
+constexpr std::size_t kMinBftMembers = 4;
+
+}  // namespace
+
+std::vector<txn::ShardReport> EpochOutcome::reports() const {
+  std::vector<txn::ShardReport> out;
+  out.reserve(committees.size());
+  for (const CommitteeOutcome& c : committees) {
+    if (!c.committed) continue;
+    txn::ShardReport r;
+    r.committee_id = c.committee_id;
+    r.tx_count = c.tx_count;
+    r.formation_latency = c.formation_latency.seconds();
+    r.consensus_latency = c.consensus_latency.seconds();
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> deal_blocks(const txn::Trace& trace,
+                                       std::size_t shards, Rng& rng) {
+  if (shards == 0) throw std::invalid_argument("deal_blocks: shards > 0");
+  if (shards > trace.blocks.size()) {
+    throw std::invalid_argument("deal_blocks: more shards than blocks");
+  }
+  std::vector<std::uint64_t> txs(shards, 0);
+  std::vector<std::size_t> order(trace.blocks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    const std::size_t shard =
+        rank < shards ? rank : static_cast<std::size_t>(rng.below(shards));
+    txs[shard] += trace.blocks[order[rank]].tx_count;
+  }
+  return txs;
+}
+
+ElasticoNetwork::ElasticoNetwork(ElasticoConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.committee_bits < 1 || config_.committee_bits > 16) {
+    throw std::invalid_argument("ElasticoNetwork: committee_bits in [1,16]");
+  }
+  if (config_.committee_size < kMinBftMembers) {
+    throw std::invalid_argument("ElasticoNetwork: committee_size >= 4 (BFT)");
+  }
+  if (config_.num_nodes < num_committees() * kMinBftMembers) {
+    throw std::invalid_argument(
+        "ElasticoNetwork: too few nodes to populate every committee");
+  }
+  if (config_.node_failure_probability < 0.0 ||
+      config_.node_failure_probability >= 1.0 ||
+      config_.message_loss_probability < 0.0 ||
+      config_.message_loss_probability >= 1.0) {
+    throw std::invalid_argument("ElasticoNetwork: probabilities in [0, 1)");
+  }
+  // Node heterogeneity — fixed per node for the network's lifetime.
+  hash_rates_.reserve(config_.num_nodes);
+  verify_speeds_.reserve(config_.num_nodes);
+  const double cv = config_.node_heterogeneity_cv;
+  for (std::size_t i = 0; i < config_.num_nodes; ++i) {
+    hash_rates_.push_back(cv > 0 ? rng_.lognormal_mean_sd(1.0, cv) : 1.0);
+    verify_speeds_.push_back(cv > 0 ? rng_.lognormal_mean_sd(1.0, cv) : 1.0);
+  }
+  randomness_ = crypto::to_hex(crypto::Sha256::hash("genesis"));
+}
+
+EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
+                                        CommitteeScheduler scheduler) {
+  const std::size_t committees = num_committees();
+  const std::size_t member_committees = committees - 1;
+  const std::uint32_t final_id = static_cast<std::uint32_t>(member_committees);
+
+  // --- Stage 1: committee formation via PoW ------------------------------
+  // Each node grinds the puzzle; the solution digest assigns its committee
+  // and the solve latency follows the exponential model (memoryless search).
+  struct Solve {
+    net::NodeId node;
+    SimTime at;
+  };
+  std::vector<std::vector<Solve>> assignment(committees);
+  for (net::NodeId node = 0; node < config_.num_nodes; ++node) {
+    const std::uint64_t nonce = rng_();
+    const crypto::Digest digest = crypto::pow_digest(
+        randomness_, "node-" + std::to_string(node), nonce);
+    const auto committee =
+        crypto::committee_of(digest, config_.committee_bits);
+    const SimTime solve = crypto::model_solve_latency(
+        rng_, config_.pow_expected_solve, hash_rates_[node]);
+    assignment[committee].push_back({node, solve});
+  }
+
+  // --- Stage 2: overlay configuration ------------------------------------
+  // Directory-mediated identity exchange; cost linear in network size.
+  const SimTime overlay = SimTime(
+      static_cast<double>(config_.num_nodes) *
+      config_.overlay_cost_per_node.seconds() * rng_.uniform(0.9, 1.1));
+
+  // Fresh event fabric per epoch.
+  sim::Simulator simulator;
+  auto link = std::make_shared<net::LognormalLatency>(
+      config_.link_latency_mean, SimTime(0.5 * config_.link_latency_mean.seconds()));
+  net::Network network(simulator, rng_.fork(), link, config_.num_nodes);
+  network.set_loss_probability(config_.message_loss_probability);
+  for (net::NodeId node = 0; node < config_.num_nodes; ++node) {
+    network.set_node_factor(node, 1.0);
+    if (config_.node_failure_probability > 0.0 &&
+        rng_.bernoulli(config_.node_failure_probability)) {
+      network.set_failed(node, true);
+    }
+  }
+
+  // Shard workload for member committees.
+  const std::vector<std::uint64_t> shard_txs =
+      deal_blocks(trace, member_committees, rng_);
+
+  EpochOutcome outcome;
+  outcome.committees.resize(member_committees);
+
+  // --- Stage 3: intra-committee consensus (all committees concurrently) --
+  std::vector<std::unique_ptr<consensus::PbftCluster>> clusters(committees);
+  std::vector<std::vector<net::NodeId>> participants(committees);
+  std::vector<SimTime> formation(committees, SimTime::infinity());
+
+  for (std::size_t c = 0; c < committees; ++c) {
+    auto& solves = assignment[c];
+    std::sort(solves.begin(), solves.end(),
+              [](const Solve& a, const Solve& b) { return a.at < b.at; });
+    const std::size_t take = std::min(config_.committee_size, solves.size());
+    if (take < kMinBftMembers) continue;  // under-populated: cannot run BFT
+    for (std::size_t r = 0; r < take; ++r) {
+      participants[c].push_back(solves[r].node);
+    }
+    if (config_.message_level_overlay) {
+      // Stage 2 as the real directory exchange: the first solver collects
+      // JOINs from its committee peers plus one identity announcement per
+      // network node (the Elastico directory learns the whole membership —
+      // the linear-in-N term), then pushes the list back out. Each exchange
+      // runs on an isolated event fabric so its absolute-time scheduling
+      // cannot collide with the other committees' stages.
+      std::vector<net::NodeId> members(participants[c].begin(),
+                                       participants[c].begin() +
+                                           static_cast<std::ptrdiff_t>(take));
+      std::vector<SimTime> ready;
+      ready.reserve(take);
+      for (std::size_t r = 0; r < take; ++r) ready.push_back(solves[r].at);
+      sim::Simulator overlay_sim;
+      net::Network overlay_net(overlay_sim, rng_.fork(), link,
+                               config_.num_nodes);
+      const OverlayResult exchanged = run_overlay_configuration(
+          overlay_sim, overlay_net, members, ready, members.front(),
+          config_.overlay_identity_processing);
+      // Directory-side verification of the *network-wide* identity list.
+      const SimTime directory_scan =
+          SimTime(static_cast<double>(config_.num_nodes) *
+                  config_.overlay_identity_processing.seconds());
+      SimTime configured = SimTime::zero();
+      for (const SimTime t : exchanged.configured_at) {
+        configured = std::max(configured, t);
+      }
+      if (configured.is_infinite() ||
+          exchanged.directory_complete.is_infinite()) {
+        participants[c].clear();  // exchange failed: committee unformed
+        continue;
+      }
+      formation[c] = configured + directory_scan;
+    } else {
+      // Formed when the last participant finished PoW, plus the closed-form
+      // overlay exchange.
+      formation[c] = solves[take - 1].at + overlay;
+    }
+  }
+
+  std::size_t undecided = 0;
+  for (std::size_t c = 0; c < member_committees; ++c) {
+    CommitteeOutcome& co = outcome.committees[c];
+    co.committee_id = static_cast<std::uint32_t>(c);
+    co.member_count = participants[c].size();
+    co.tx_count = shard_txs[c];
+    if (participants[c].empty()) continue;
+    co.formation_latency = formation[c];
+
+    auto cluster = std::make_unique<consensus::PbftCluster>(
+        simulator, network, config_.pbft, rng_.fork(), participants[c]);
+    for (std::size_t r = 0; r < participants[c].size(); ++r) {
+      cluster->set_speed_factor(r, verify_speeds_[participants[c][r]]);
+    }
+    // Shard payload: Merkle root over a synthetic per-shard block digest.
+    const crypto::Digest payload = crypto::Sha256::hash(
+        randomness_ + "|shard|" + std::to_string(c) + "|" +
+        std::to_string(shard_txs[c]));
+    ++undecided;
+    consensus::PbftCluster* raw = cluster.get();
+    simulator.schedule_at(formation[c], [raw, payload, &co, &undecided] {
+      raw->start_consensus(payload, [&co, &undecided](
+                                        const consensus::PbftResult& res) {
+        co.committed = res.committed;
+        co.consensus_latency = res.latency;
+        co.view_changes = res.view_changes;
+        --undecided;
+      });
+    });
+    clusters[c] = std::move(cluster);
+  }
+
+  // Drive all member-committee instances to quiescence (horizon events in
+  // each cluster bound the run).
+  simulator.run();
+  assert(undecided == 0);
+
+  // --- Stage 4: final consensus -------------------------------------------
+  std::vector<CommitteeOutcome> committed;
+  for (const CommitteeOutcome& co : outcome.committees) {
+    if (co.committed) committed.push_back(co);
+  }
+  if (scheduler) {
+    outcome.selected = scheduler(committed);
+  } else {
+    for (const CommitteeOutcome& co : committed) {
+      outcome.selected.push_back(co.committee_id);
+    }
+  }
+
+  if (!outcome.selected.empty() && participants[final_id].size() >= kMinBftMembers) {
+    // DDL: the final committee can start once the last selected shard has
+    // been submitted (its two-phase latency) — and no earlier than its own
+    // formation.
+    SimTime start = formation[final_id];
+    std::uint64_t total_txs = 0;
+    std::vector<crypto::Digest> leaves;
+    for (const std::uint32_t id : outcome.selected) {
+      const CommitteeOutcome& co = outcome.committees.at(id);
+      start = std::max(start, co.two_phase_latency());
+      total_txs += co.tx_count;
+      leaves.push_back(crypto::Sha256::hash("shard-root-" + std::to_string(id)));
+    }
+    const crypto::MerkleTree tree(std::move(leaves));
+
+    auto final_cluster = std::make_unique<consensus::PbftCluster>(
+        simulator, network, config_.pbft, rng_.fork(), participants[final_id]);
+    for (std::size_t r = 0; r < participants[final_id].size(); ++r) {
+      final_cluster->set_speed_factor(r,
+                                      verify_speeds_[participants[final_id][r]]);
+    }
+    bool done = false;
+    // The simulator clock may have run past `start` while draining member
+    // committees' trailing events; the final PBFT's *duration* is what
+    // matters, so fire it at the later of the two and keep the logical
+    // start for the makespan arithmetic.
+    const SimTime fire_at = std::max(start, simulator.now());
+    simulator.schedule_at(fire_at, [&, root = tree.root()] {
+      final_cluster->start_consensus(
+          root, [&](const consensus::PbftResult& res) {
+            outcome.final_committed = res.committed;
+            outcome.final_consensus_latency = res.latency;
+            done = true;
+          });
+    });
+    simulator.run();
+    assert(done);
+    outcome.final_block_txs = total_txs;
+    outcome.epoch_makespan = start + outcome.final_consensus_latency;
+  }
+
+  // --- Root chain: the final block joins the ledger ------------------------
+  if (outcome.final_committed) {
+    std::vector<crypto::Digest> roots;
+    roots.reserve(outcome.selected.size());
+    for (const std::uint32_t id : outcome.selected) {
+      roots.push_back(
+          crypto::Sha256::hash("shard-root-" + std::to_string(id)));
+    }
+    chain_.extend(std::move(roots), outcome.final_block_txs,
+                  outcome.epoch_makespan.seconds(),
+                  "final-committee-" + std::to_string(final_id), randomness_);
+  }
+
+  // --- Stage 5: epoch randomness refreshing -------------------------------
+  // The next epoch's randomness binds the epoch index and the current tip —
+  // an adversary cannot precompute committee assignments before the final
+  // block settles. With beacon_randomness the final committee additionally
+  // runs the commit-reveal beacon and its output is folded in.
+  std::string beacon_entropy;
+  if (config_.beacon_randomness &&
+      participants[final_id].size() >= kMinBftMembers) {
+    sim::Simulator beacon_sim;
+    net::Network beacon_net(beacon_sim, rng_.fork(), link, config_.num_nodes);
+    const BeaconResult beacon = run_commit_reveal_beacon(
+        beacon_sim, beacon_net, rng_, participants[final_id],
+        std::vector<bool>(participants[final_id].size(), false));
+    beacon_entropy = beacon.randomness;
+  }
+  randomness_ = crypto::to_hex(crypto::Sha256::hash(
+      randomness_ + "|epoch|" + std::to_string(epoch_index_++) + "|" +
+      crypto::to_hex(chain_.tip().header.hash()) + "|" + beacon_entropy));
+  outcome.next_epoch_randomness = randomness_;
+  return outcome;
+}
+
+}  // namespace mvcom::sharding

@@ -1,0 +1,63 @@
+#include "sharding/overlay.hpp"
+
+#include <stdexcept>
+
+namespace mvcom::sharding {
+
+OverlayResult run_overlay_configuration(
+    sim::Simulator& simulator, net::Network& network,
+    const std::vector<net::NodeId>& participants,
+    const std::vector<common::SimTime>& ready_at, net::NodeId directory,
+    common::SimTime per_identity_processing) {
+  if (participants.empty() || participants.size() != ready_at.size()) {
+    throw std::invalid_argument(
+        "run_overlay_configuration: participants/ready_at mismatch");
+  }
+
+  OverlayResult result;
+  result.configured_at.assign(participants.size(),
+                              common::SimTime::infinity());
+
+  // Shared mutable state for the directory's in-flight bookkeeping. Owned
+  // by shared_ptr because callbacks may outlive this stack frame inside the
+  // simulator queue (they won't — we drive to quiescence — but ownership
+  // should not depend on that).
+  struct DirectoryState {
+    std::size_t joins_received = 0;
+    common::SimTime busy_until = common::SimTime::zero();
+  };
+  auto state = std::make_shared<DirectoryState>();
+  const std::size_t expected = participants.size();
+
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    const net::NodeId from = participants[i];
+    simulator.schedule_at(ready_at[i], [&, state, from, i, expected,
+                                        per_identity_processing, directory] {
+      // JOIN: identity travels to the directory.
+      network.send(from, directory, [&, state, i, expected,
+                                     per_identity_processing, directory] {
+        // The directory verifies identities sequentially — the linear term.
+        state->busy_until =
+            std::max(state->busy_until, simulator.now()) +
+            per_identity_processing;
+        ++state->joins_received;
+        if (state->joins_received != expected) return;
+        // All identities known: broadcast the membership list.
+        result.directory_complete = state->busy_until;
+        simulator.schedule_at(state->busy_until, [&, directory] {
+          for (std::size_t j = 0; j < participants.size(); ++j) {
+            const std::size_t member = j;
+            network.send(directory, participants[j], [&, member] {
+              result.configured_at[member] = simulator.now();
+            });
+          }
+        });
+      });
+    });
+  }
+
+  simulator.run();
+  return result;
+}
+
+}  // namespace mvcom::sharding

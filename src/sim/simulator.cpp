@@ -1,0 +1,69 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <memory>
+#include <stdexcept>
+
+namespace mvcom::sim {
+
+EventId Simulator::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) {
+    throw std::logic_error("Simulator::schedule_at: cannot schedule in the past");
+  }
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq, std::make_shared<Callback>(std::move(cb))});
+  live_.insert(seq);
+  return EventId{seq};
+}
+
+void Simulator::cancel(EventId id) {
+  // Only live events grow the tombstone set; cancelling a fired or unknown
+  // id is a no-op (protocol timers are routinely disarmed late).
+  if (live_.erase(id.value) > 0) {
+    cancelled_.insert(id.value);
+  }
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    Entry top = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(top.at >= now_);
+    now_ = top.at;
+    live_.erase(top.seq);
+    ++executed_;
+    (*top.cb)();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t Simulator::run_until(SimTime horizon) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled tombstones at the head so the peeked time is live.
+    Entry top = queue_.top();
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      queue_.pop();
+      cancelled_.erase(it);
+      continue;
+    }
+    if (top.at > horizon) break;
+    fire_next();
+    ++fired;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return fired;
+}
+
+}  // namespace mvcom::sim

@@ -1,0 +1,88 @@
+#pragma once
+// Discrete-event simulation (DES) engine. The PBFT and Elastico substrates
+// run on simulated time: components schedule callbacks at future instants,
+// and the engine executes them in timestamp order (FIFO within equal
+// timestamps, by insertion sequence — deterministic).
+//
+// The engine is deliberately single-threaded: determinism matters more than
+// parallel speed for a protocol simulator, and all experiments complete in
+// seconds of wall-clock time.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace mvcom::sim {
+
+using common::SimTime;
+
+/// Handle for a scheduled event; lets the scheduler cancel timers (e.g.
+/// PBFT view-change timers that are disarmed on progress).
+struct EventId {
+  std::uint64_t value = 0;
+  friend bool operator==(EventId, EventId) = default;
+};
+
+/// The simulation kernel.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` to run at absolute simulated time `at`.
+  /// Precondition: at >= now() (the past is immutable).
+  EventId schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` to run `delay` after the current time.
+  EventId schedule_after(SimTime delay, Callback cb) {
+    return schedule_at(now() + delay, std::move(cb));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a harmless no-op (matches how protocol timers are usually disarmed).
+  void cancel(EventId id);
+
+  /// Runs events until the queue empties or `limit` events have fired.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with timestamp <= horizon. Events scheduled during the run
+  /// are honored if they also fall within the horizon. Advances the clock to
+  /// `horizon` even if the queue drains early.
+  std::size_t run_until(SimTime horizon);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return live_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+  [[nodiscard]] std::uint64_t events_executed() const noexcept {
+    return executed_;
+  }
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    // Callback lives out-of-line so Entry moves are cheap in the heap.
+    std::shared_ptr<Callback> cb;
+
+    friend bool operator>(const Entry& a, const Entry& b) noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();  // pops and executes one event; false if queue empty
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
+  std::unordered_set<std::uint64_t> live_;       // scheduled, not yet fired
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstones in the heap
+  SimTime now_ = SimTime::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace mvcom::sim

@@ -1,0 +1,18 @@
+#pragma once
+// CSV persistence for traces — the on-disk format mirrors the four-column
+// schema of the paper's dataset: blockID,bhash,btime,txs.
+
+#include <filesystem>
+
+#include "txn/trace.hpp"
+
+namespace mvcom::txn {
+
+/// Writes `trace` as CSV with header "blockID,bhash,btime,txs".
+void write_trace_csv(const Trace& trace, const std::filesystem::path& path);
+
+/// Loads a trace written by write_trace_csv (or any file with the same
+/// schema). Throws std::runtime_error on malformed input.
+[[nodiscard]] Trace load_trace_csv(const std::filesystem::path& path);
+
+}  // namespace mvcom::txn

@@ -1,0 +1,136 @@
+#include "txn/workload.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace mvcom::txn {
+
+std::uint64_t EpochWorkload::total_txs() const noexcept {
+  return std::accumulate(reports.begin(), reports.end(), std::uint64_t{0},
+                         [](std::uint64_t acc, const ShardReport& r) {
+                           return acc + r.tx_count;
+                         });
+}
+
+double EpochWorkload::max_latency() const noexcept {
+  double best = 0.0;
+  for (const ShardReport& r : reports) {
+    best = std::max(best, r.two_phase_latency());
+  }
+  return best;
+}
+
+namespace {
+
+/// Erlang(k, mean/k): sum of k exponentials — mean preserved, variance
+/// mean²/k.
+double erlang(common::Rng& rng, double mean, int stages) {
+  double total = 0.0;
+  const double stage_mean = mean / static_cast<double>(stages);
+  for (int s = 0; s < stages; ++s) total += rng.exponential(stage_mean);
+  return total;
+}
+
+}  // namespace
+
+TwoPhaseLatency sample_two_phase_latency(common::Rng& rng,
+                                         const WorkloadConfig& config) {
+  TwoPhaseLatency out;
+  out.formation =
+      erlang(rng, config.formation_mean_seconds, config.formation_stages);
+  out.consensus =
+      erlang(rng, config.consensus_mean_seconds, config.consensus_stages);
+  return out;
+}
+
+WorkloadGenerator::WorkloadGenerator(Trace trace, WorkloadConfig config)
+    : trace_(std::move(trace)), config_(config) {
+  if (config_.num_committees == 0) {
+    throw std::invalid_argument("WorkloadGenerator: need at least 1 committee");
+  }
+  if (config_.num_committees > trace_.blocks.size()) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: more committees than trace blocks — every shard "
+        "must contain at least one block");
+  }
+  if (config_.consensus_stages < 1 || config_.formation_stages < 1) {
+    throw std::invalid_argument(
+        "WorkloadGenerator: latency Erlang stages must be >= 1");
+  }
+}
+
+EpochWorkload WorkloadGenerator::epoch(common::Rng& rng) const {
+  const std::size_t m = config_.num_committees;
+  EpochWorkload workload;
+  workload.reports.resize(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    workload.reports[c].committee_id = static_cast<std::uint32_t>(c);
+  }
+
+  // Deal blocks: a random permutation guarantees one block per committee in
+  // the first round; in kDealAllBlocks mode the remainder is assigned
+  // uniformly at random, otherwise the remaining blocks stay unused this
+  // epoch.
+  std::vector<std::size_t> order(trace_.blocks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+  const std::size_t dealt = config_.fill == ShardFill::kOneBlockPerCommittee
+                                ? m
+                                : order.size();
+  for (std::size_t rank = 0; rank < dealt; ++rank) {
+    const std::size_t committee =
+        rank < m ? rank : static_cast<std::size_t>(rng.below(m));
+    workload.reports[committee].tx_count +=
+        trace_.blocks[order[rank]].tx_count;
+  }
+
+  for (ShardReport& r : workload.reports) {
+    const TwoPhaseLatency lat = sample_two_phase_latency(rng, config_);
+    r.formation_latency = lat.formation;
+    r.consensus_latency = lat.consensus;
+  }
+  return workload;
+}
+
+EpochWorkload WorkloadGenerator::epoch_from_window(std::size_t epoch_index,
+                                                   double window_seconds,
+                                                   common::Rng& rng) const {
+  if (window_seconds <= 0.0) {
+    throw std::invalid_argument("epoch_from_window: window must be positive");
+  }
+  const double trace_start = trace_.blocks.front().btime;
+  const double window_start =
+      trace_start + static_cast<double>(epoch_index) * window_seconds;
+  const double window_end = window_start + window_seconds;
+  if (window_start > trace_.blocks.back().btime) {
+    throw std::out_of_range("epoch_from_window: window beyond the trace");
+  }
+
+  // Blocks are btime-sorted: binary-search the window.
+  const auto lower = std::lower_bound(
+      trace_.blocks.begin(), trace_.blocks.end(), window_start,
+      [](const BlockRecord& b, double t) { return b.btime < t; });
+  const auto upper = std::lower_bound(
+      lower, trace_.blocks.end(), window_end,
+      [](const BlockRecord& b, double t) { return b.btime < t; });
+
+  const std::size_t m = config_.num_committees;
+  EpochWorkload workload;
+  workload.reports.resize(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    workload.reports[c].committee_id = static_cast<std::uint32_t>(c);
+  }
+  // Deal the window's blocks; committees may be empty in quiet windows.
+  for (auto it = lower; it != upper; ++it) {
+    workload.reports[rng.below(m)].tx_count += it->tx_count;
+  }
+  for (ShardReport& r : workload.reports) {
+    const TwoPhaseLatency lat = sample_two_phase_latency(rng, config_);
+    r.formation_latency = lat.formation;
+    r.consensus_latency = lat.consensus;
+  }
+  return workload;
+}
+
+}  // namespace mvcom::txn

@@ -1,0 +1,116 @@
+// Tests for per-transaction cumulative-age accounting (txn/age).
+
+#include "txn/age.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "txn/trace_generator.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::txn::deal_blocks_with_provenance;
+using mvcom::txn::shard_age_profile;
+using mvcom::txn::ShardBlocks;
+using mvcom::txn::total_age_profile;
+using mvcom::txn::Trace;
+
+Trace tiny_trace() {
+  // Three blocks at t = 0, 100, 200 with 10, 20, 30 TXs.
+  Trace trace;
+  for (int i = 0; i < 3; ++i) {
+    mvcom::txn::BlockRecord b;
+    b.block_id = static_cast<std::uint64_t>(i);
+    b.btime = 100.0 * i;
+    b.tx_count = static_cast<std::uint64_t>(10 * (i + 1));
+    b.bhash = "h" + std::to_string(i);
+    trace.blocks.push_back(b);
+  }
+  return trace;
+}
+
+TEST(ShardAgeProfileTest, HandComputedAges) {
+  const Trace trace = tiny_trace();
+  ShardBlocks shard;
+  shard.block_indices = {0, 2};
+  // Commit at t=300: block0's 10 TXs waited 300 each, block2's 30 waited 100.
+  const auto profile = shard_age_profile(trace, shard, 300.0);
+  EXPECT_EQ(profile.tx_count, 40u);
+  EXPECT_DOUBLE_EQ(profile.total_age, 10 * 300.0 + 30 * 100.0);
+  EXPECT_DOUBLE_EQ(profile.max_age, 300.0);
+  EXPECT_DOUBLE_EQ(profile.mean_age(), 6000.0 / 40.0);
+}
+
+TEST(ShardAgeProfileTest, FutureBlocksClampToZeroAge) {
+  const Trace trace = tiny_trace();
+  ShardBlocks shard;
+  shard.block_indices = {2};  // btime 200
+  const auto profile = shard_age_profile(trace, shard, 150.0);
+  EXPECT_DOUBLE_EQ(profile.total_age, 0.0);
+  EXPECT_EQ(profile.tx_count, 30u);
+}
+
+TEST(ShardAgeProfileTest, EmptyShardIsZero) {
+  const Trace trace = tiny_trace();
+  const auto profile = shard_age_profile(trace, ShardBlocks{}, 500.0);
+  EXPECT_EQ(profile.tx_count, 0u);
+  EXPECT_DOUBLE_EQ(profile.mean_age(), 0.0);
+}
+
+TEST(TotalAgeProfileTest, SumsAcrossShards) {
+  const Trace trace = tiny_trace();
+  std::vector<ShardBlocks> shards(2);
+  shards[0].block_indices = {0};
+  shards[1].block_indices = {1, 2};
+  const auto total = total_age_profile(trace, shards, 400.0);
+  EXPECT_EQ(total.tx_count, 60u);
+  EXPECT_DOUBLE_EQ(total.total_age,
+                   10 * 400.0 + 20 * 300.0 + 30 * 200.0);
+  EXPECT_DOUBLE_EQ(total.max_age, 400.0);
+}
+
+TEST(DealWithProvenanceTest, PartitionsAllBlocksExactlyOnce) {
+  Rng rng(3);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = 60;
+  tc.target_total_txs = 60'000;
+  const Trace trace = mvcom::txn::generate_trace(tc, rng);
+  const auto shards = deal_blocks_with_provenance(trace, 12, rng);
+  ASSERT_EQ(shards.size(), 12u);
+  std::set<std::size_t> seen;
+  for (const auto& shard : shards) {
+    EXPECT_GE(shard.block_indices.size(), 1u);
+    for (const std::size_t b : shard.block_indices) {
+      EXPECT_TRUE(seen.insert(b).second) << "block dealt twice: " << b;
+    }
+  }
+  EXPECT_EQ(seen.size(), trace.blocks.size());
+}
+
+TEST(DealWithProvenanceTest, AgreesWithTxCountTotals) {
+  Rng rng(4);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = 40;
+  tc.target_total_txs = 40'000;
+  const Trace trace = mvcom::txn::generate_trace(tc, rng);
+  const auto shards = deal_blocks_with_provenance(trace, 8, rng);
+  const auto total = total_age_profile(trace, shards, 1e12);
+  EXPECT_EQ(total.tx_count, trace.total_txs());
+}
+
+TEST(AgeMonotonicityTest, LaterCommitMeansOlderTxs) {
+  // The motivation behind MVCom: every second the final committee waits for
+  // a straggler, every already-submitted TX ages by that second.
+  const Trace trace = tiny_trace();
+  ShardBlocks shard;
+  shard.block_indices = {0, 1, 2};
+  const auto early = shard_age_profile(trace, shard, 300.0);
+  const auto late = shard_age_profile(trace, shard, 900.0);
+  EXPECT_DOUBLE_EQ(late.total_age - early.total_age,
+                   600.0 * static_cast<double>(early.tx_count));
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Tests for the root chain (chain/block, chain/root_chain) and the
+// shard-submission verification layer (sharding/verification).
+
+#include <gtest/gtest.h>
+
+#include "chain/root_chain.hpp"
+#include "common/rng.hpp"
+#include "sharding/verification.hpp"
+#include "txn/trace_generator.hpp"
+
+namespace {
+
+using mvcom::chain::AppendError;
+using mvcom::chain::Block;
+using mvcom::chain::RootChain;
+using mvcom::crypto::Digest;
+using mvcom::crypto::Sha256;
+
+std::vector<Digest> roots(int n, const std::string& tag = "r") {
+  std::vector<Digest> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(Sha256::hash(tag + std::to_string(i)));
+  }
+  return out;
+}
+
+// --- blocks --------------------------------------------------------------------
+
+TEST(BlockTest, HeaderHashBindsEveryField) {
+  Block base = Block::assemble(nullptr, roots(3), 100, 5.0, "p", "rand");
+  const Digest original = base.header.hash();
+  auto mutate = [&](auto&& change) {
+    Block copy = base;
+    change(copy);
+    EXPECT_NE(copy.header.hash(), original);
+  };
+  mutate([](Block& b) { b.header.height = 7; });
+  mutate([](Block& b) { b.header.tx_count = 101; });
+  mutate([](Block& b) { b.header.timestamp = 6.0; });
+  mutate([](Block& b) { b.header.proposer = "q"; });
+  mutate([](Block& b) { b.header.epoch_randomness = "other"; });
+  mutate([](Block& b) { b.header.prev_hash = Sha256::hash("x"); });
+}
+
+TEST(BlockTest, HeaderHashIsNotAmbiguousUnderFieldSplits) {
+  // "ab" + "c" must not collide with "a" + "bc" (length-prefixed encoding).
+  Block a = Block::assemble(nullptr, {}, 0, 0.0, "ab", "c");
+  Block b = Block::assemble(nullptr, {}, 0, 0.0, "a", "bc");
+  EXPECT_NE(a.header.hash(), b.header.hash());
+}
+
+TEST(BlockTest, MerkleConsistencyDetectsTampering) {
+  Block block = Block::assemble(nullptr, roots(4), 10, 1.0, "p", "r");
+  EXPECT_TRUE(block.merkle_consistent());
+  block.shard_roots[2] = Sha256::hash("swapped");
+  EXPECT_FALSE(block.merkle_consistent());
+}
+
+TEST(BlockTest, ShardInclusionProofsVerify) {
+  const Block block = Block::assemble(nullptr, roots(5), 10, 1.0, "p", "r");
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto proof = block.prove_shard(i);
+    EXPECT_TRUE(mvcom::crypto::MerkleTree::verify(
+        block.shard_roots[i], proof, block.header.shard_merkle_root));
+  }
+}
+
+// --- root chain ------------------------------------------------------------------
+
+TEST(RootChainTest, GenesisIsValid) {
+  const RootChain chain;
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.size(), 1u);
+  EXPECT_TRUE(chain.validate_full());
+}
+
+TEST(RootChainTest, ExtendGrowsAValidChain) {
+  RootChain chain;
+  for (int e = 1; e <= 5; ++e) {
+    chain.extend(roots(e), static_cast<std::uint64_t>(100 * e),
+                 1000.0 * e, "final", "rand" + std::to_string(e));
+  }
+  EXPECT_EQ(chain.height(), 5u);
+  EXPECT_TRUE(chain.validate_full());
+  EXPECT_EQ(chain.total_txs(), 100u + 200 + 300 + 400 + 500);
+  EXPECT_EQ(chain.at(3).header.height, 3u);
+}
+
+TEST(RootChainTest, AppendRejectsWrongHeight) {
+  RootChain chain;
+  Block block = Block::assemble(&chain.tip().header, roots(1), 10, 1.0, "p", "r");
+  block.header.height = 5;
+  EXPECT_EQ(chain.append(block), AppendError::kWrongHeight);
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(RootChainTest, AppendRejectsBrokenHashLink) {
+  RootChain chain;
+  Block block = Block::assemble(&chain.tip().header, roots(1), 10, 1.0, "p", "r");
+  block.header.prev_hash = Sha256::hash("somewhere else");
+  EXPECT_EQ(chain.append(block), AppendError::kBrokenHashLink);
+}
+
+TEST(RootChainTest, AppendRejectsMerkleMismatch) {
+  RootChain chain;
+  Block block = Block::assemble(&chain.tip().header, roots(2), 10, 1.0, "p", "r");
+  block.shard_roots.push_back(Sha256::hash("smuggled"));
+  EXPECT_EQ(chain.append(block), AppendError::kMerkleMismatch);
+}
+
+TEST(RootChainTest, AppendRejectsTimeTravel) {
+  RootChain chain;
+  chain.extend(roots(1), 10, 100.0, "p", "r");
+  Block block = Block::assemble(&chain.tip().header, roots(1), 10, 50.0, "p", "r");
+  EXPECT_EQ(chain.append(block), AppendError::kNonMonotonicTimestamp);
+}
+
+TEST(RootChainTest, AtBeyondTipThrows) {
+  const RootChain chain;
+  EXPECT_THROW(static_cast<void>(chain.at(1)), std::out_of_range);
+}
+
+TEST(RootChainTest, FullValidationCatchesDeepTampering) {
+  RootChain chain;
+  for (int e = 1; e <= 3; ++e) {
+    chain.extend(roots(e), 100, 10.0 * e, "p", "r");
+  }
+  EXPECT_TRUE(chain.validate_full());
+  // Forge a copy with a tampered middle block: revalidation must fail.
+  RootChain tampered = chain;
+  const_cast<Block&>(tampered.at(1)).header.tx_count = 999'999;
+  EXPECT_FALSE(tampered.validate_full());
+}
+
+// --- shard-submission verification ------------------------------------------------
+
+TEST(SubmissionTest, HonestSubmissionVerifies) {
+  using mvcom::sharding::build_submission;
+  using mvcom::sharding::verify_submission;
+  const auto submission = build_submission(
+      3, {{"hash-a", 100}, {"hash-b", 250}, {"hash-c", 7}});
+  EXPECT_EQ(submission.claimed_tx_count, 357u);
+  EXPECT_FALSE(verify_submission(submission).has_value());
+}
+
+TEST(SubmissionTest, InflatedCountIsDetected) {
+  using mvcom::sharding::build_submission;
+  using mvcom::sharding::SubmissionError;
+  using mvcom::sharding::verify_submission;
+  auto submission = build_submission(3, {{"hash-a", 100}, {"hash-b", 250}});
+  submission.claimed_tx_count += 10'000;  // committee inflates its s_i
+  EXPECT_EQ(verify_submission(submission), SubmissionError::kCountMismatch);
+}
+
+TEST(SubmissionTest, TamperedEntryBreaksTheRoot) {
+  using mvcom::sharding::build_submission;
+  using mvcom::sharding::SubmissionError;
+  using mvcom::sharding::verify_submission;
+  auto submission = build_submission(3, {{"hash-a", 100}, {"hash-b", 250}});
+  submission.entries[1].tx_count = 9'999;  // count inflated *inside* entries
+  // The root no longer matches — count binding works.
+  EXPECT_EQ(verify_submission(submission), SubmissionError::kRootMismatch);
+}
+
+TEST(SubmissionTest, EmptyShardRejected) {
+  using mvcom::sharding::build_submission;
+  using mvcom::sharding::SubmissionError;
+  using mvcom::sharding::verify_submission;
+  EXPECT_EQ(verify_submission(build_submission(1, {})),
+            SubmissionError::kEmpty);
+}
+
+TEST(SubmissionTest, TraceBackedSubmissionRoundtrips) {
+  mvcom::common::Rng rng(7);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = 20;
+  tc.target_total_txs = 20'000;
+  const auto trace = mvcom::txn::generate_trace(tc, rng);
+  const std::vector<std::size_t> indices{2, 5, 11};
+  const auto submission =
+      mvcom::sharding::build_submission_from_trace(9, trace, indices);
+  EXPECT_EQ(submission.entries.size(), 3u);
+  EXPECT_EQ(submission.claimed_tx_count,
+            trace.blocks[2].tx_count + trace.blocks[5].tx_count +
+                trace.blocks[11].tx_count);
+  EXPECT_FALSE(mvcom::sharding::verify_submission(submission).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,223 @@
+// Tests for crypto/sha256 (NIST vectors), crypto/merkle, and crypto/pow.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/pow.hpp"
+#include "crypto/sha256.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::common::SimTime;
+using mvcom::crypto::Digest;
+using mvcom::crypto::MerkleTree;
+using mvcom::crypto::PowTarget;
+using mvcom::crypto::Sha256;
+using mvcom::crypto::to_hex;
+
+// --- SHA-256 (FIPS 180-4 test vectors) -------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Sha256 h;
+  h.update("hello ");
+  h.update("world");
+  EXPECT_EQ(to_hex(h.finalize()), to_hex(Sha256::hash("hello world")));
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  const std::string msg(64, 'x');
+  Sha256 h;
+  h.update(msg);
+  EXPECT_EQ(to_hex(h.finalize()), to_hex(Sha256::hash(msg)));
+  const std::string msg55(55, 'y');
+  const std::string msg56(56, 'y');
+  EXPECT_NE(to_hex(Sha256::hash(msg55)), to_hex(Sha256::hash(msg56)));
+}
+
+TEST(Sha256Test, DoubleHashDiffersFromSingle) {
+  EXPECT_NE(to_hex(Sha256::double_hash("abc")), to_hex(Sha256::hash("abc")));
+}
+
+TEST(Sha256Test, Leading64IsBigEndianPrefix) {
+  Digest d{};
+  d[0] = 0x01;
+  d[7] = 0xff;
+  EXPECT_EQ(mvcom::crypto::leading64(d), 0x01000000000000ffULL);
+}
+
+TEST(Sha256Test, LeadingZeroBits) {
+  Digest d{};
+  d[0] = 0x00;
+  d[1] = 0x10;  // 3 leading zero bits within this byte
+  EXPECT_EQ(mvcom::crypto::leading_zero_bits(d), 11);
+  Digest all_zero{};
+  EXPECT_EQ(mvcom::crypto::leading_zero_bits(all_zero), 256);
+}
+
+// --- Merkle tree ------------------------------------------------------------
+
+std::vector<Digest> make_leaves(std::size_t n) {
+  std::vector<Digest> leaves;
+  leaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::hash("leaf-" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+  const auto leaves = make_leaves(1);
+  const MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+}
+
+TEST(MerkleTest, RootIsDeterministic) {
+  const MerkleTree a(make_leaves(7));
+  const MerkleTree b(make_leaves(7));
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(MerkleTest, RootDependsOnEveryLeaf) {
+  auto leaves = make_leaves(8);
+  const MerkleTree original(leaves);
+  leaves[5] = Sha256::hash("tampered");
+  const MerkleTree tampered(leaves);
+  EXPECT_NE(original.root(), tampered.root());
+}
+
+TEST(MerkleTest, EmptyTreeHasConventionRoot) {
+  const MerkleTree tree({});
+  EXPECT_EQ(tree.root(), Sha256::hash(std::string_view{}));
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllLeavesProveInclusion) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(leaves[i], proof, tree.root()))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofTest, TamperedLeafFailsVerification) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const MerkleTree tree(leaves);
+  const auto proof = tree.prove(0);
+  const Digest wrong = Sha256::hash("not-the-leaf");
+  EXPECT_FALSE(MerkleTree::verify(wrong, proof, tree.root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(LeafCounts, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 64));
+
+// --- Proof of Work ----------------------------------------------------------
+
+TEST(PowTest, SolveAndVerifyRoundtrip) {
+  const PowTarget target = PowTarget::from_difficulty_bits(10);
+  const auto solution =
+      mvcom::crypto::solve("epoch-rand", "node-1", target, 1u << 16);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(mvcom::crypto::verify("epoch-rand", "node-1", target, *solution));
+}
+
+TEST(PowTest, VerifyRejectsWrongIdentity) {
+  const PowTarget target = PowTarget::from_difficulty_bits(8);
+  const auto solution =
+      mvcom::crypto::solve("epoch-rand", "node-1", target, 1u << 16);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_FALSE(
+      mvcom::crypto::verify("epoch-rand", "node-2", target, *solution));
+}
+
+TEST(PowTest, HarderTargetNeedsMoreAttempts) {
+  EXPECT_GT(PowTarget::from_difficulty_bits(16).expected_attempts(),
+            PowTarget::from_difficulty_bits(8).expected_attempts());
+  EXPECT_NEAR(PowTarget::from_difficulty_bits(8).expected_attempts(), 256.0,
+              1.0);
+}
+
+TEST(PowTest, UnsolvableTargetGivesUp) {
+  // leading64_below = 1 is ~2^-64 per attempt; 100 tries will fail.
+  const PowTarget target{1};
+  EXPECT_FALSE(mvcom::crypto::solve("r", "id", target, 100).has_value());
+}
+
+TEST(PowTest, CommitteeAssignmentStaysInRange) {
+  for (int bits : {1, 2, 4, 8}) {
+    for (int i = 0; i < 200; ++i) {
+      const Digest d = Sha256::hash("x" + std::to_string(i));
+      EXPECT_LT(mvcom::crypto::committee_of(d, bits), 1u << bits);
+    }
+  }
+}
+
+TEST(PowTest, CommitteeAssignmentCoversAllCommittees) {
+  std::vector<int> seen(1 << 3, 0);
+  for (int i = 0; i < 2000; ++i) {
+    const Digest d = Sha256::hash("y" + std::to_string(i));
+    ++seen[mvcom::crypto::committee_of(d, 3)];
+  }
+  for (const int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(PowTest, ModelSolveLatencyMeanMatchesPaper) {
+  // The paper's committee-formation model: Exp with mean 600 s.
+  Rng rng(61);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += mvcom::crypto::model_solve_latency(rng, SimTime(600.0), 1.0)
+               .seconds();
+  }
+  EXPECT_NEAR(sum / n, 600.0, 10.0);
+}
+
+TEST(PowTest, FasterNodesSolveSooner) {
+  Rng rng(67);
+  double slow = 0.0;
+  double fast = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    slow += mvcom::crypto::model_solve_latency(rng, SimTime(600.0), 0.5)
+                .seconds();
+    fast += mvcom::crypto::model_solve_latency(rng, SimTime(600.0), 2.0)
+                .seconds();
+  }
+  EXPECT_GT(slow, 3.0 * fast);  // 4x rate ratio, wide margin
+}
+
+}  // namespace

@@ -1,0 +1,99 @@
+// Tests for the minimal CSV reader/writer.
+
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+using mvcom::common::CsvRow;
+using mvcom::common::CsvWriter;
+using mvcom::common::parse_csv_line;
+using mvcom::common::read_csv;
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("mvcom-csv-" + std::to_string(std::rand()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST(ParseCsvLineTest, SplitsFields) {
+  EXPECT_EQ(parse_csv_line("a,b,c"), (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_line("single"), (CsvRow{"single"}));
+  EXPECT_EQ(parse_csv_line("x,,z"), (CsvRow{"x", "", "z"}));
+  EXPECT_EQ(parse_csv_line(",,"), (CsvRow{"", "", ""}));
+}
+
+TEST(ParseCsvLineTest, CustomSeparator) {
+  EXPECT_EQ(parse_csv_line("a;b;c", ';'), (CsvRow{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, RejectsQuotes) {
+  EXPECT_THROW(parse_csv_line("a,\"b\",c"), std::invalid_argument);
+}
+
+TEST_F(CsvTest, WriteReadRoundtrip) {
+  const auto path = dir_ / "data.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_row({"id", "value"});
+    writer.write_row({"1", "3.5"});
+    writer.write_row({"2", "7.25"});
+  }
+  const auto file = read_csv(path, /*expect_header=*/true);
+  EXPECT_EQ(file.header, (CsvRow{"id", "value"}));
+  ASSERT_EQ(file.rows.size(), 2u);
+  EXPECT_EQ(file.rows[1], (CsvRow{"2", "7.25"}));
+}
+
+TEST_F(CsvTest, NoHeaderMode) {
+  const auto path = dir_ / "raw.csv";
+  {
+    CsvWriter writer(path);
+    writer.write_row({"1", "2"});
+    writer.write_row({"3", "4"});
+  }
+  const auto file = read_csv(path, /*expect_header=*/false);
+  EXPECT_TRUE(file.header.empty());
+  EXPECT_EQ(file.rows.size(), 2u);
+}
+
+TEST_F(CsvTest, SkipsBlankLinesAndCarriageReturns) {
+  const auto path = dir_ / "crlf.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\r\n\r\n1,2\r\n";
+  }
+  const auto file = read_csv(path, /*expect_header=*/true);
+  EXPECT_EQ(file.header, (CsvRow{"a", "b"}));
+  ASSERT_EQ(file.rows.size(), 1u);
+  EXPECT_EQ(file.rows[0], (CsvRow{"1", "2"}));
+}
+
+TEST_F(CsvTest, InconsistentArityThrows) {
+  const auto path = dir_ / "bad.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n1,2,3\n";
+  }
+  EXPECT_THROW(read_csv(path, true), std::runtime_error);
+}
+
+TEST_F(CsvTest, MissingFileThrows) {
+  EXPECT_THROW(read_csv(dir_ / "nope.csv", true), std::runtime_error);
+}
+
+TEST_F(CsvTest, WriterToUnwritablePathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace

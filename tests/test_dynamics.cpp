@@ -1,0 +1,152 @@
+// Tests for the online dynamics harness (Fig. 9/14 machinery) and the
+// cross-epoch carry-over rule (Fig. 3).
+
+#include "mvcom/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using mvcom::core::Committee;
+using mvcom::core::DynamicEvent;
+using mvcom::core::DynamicTrace;
+using mvcom::core::EpochChainParams;
+using mvcom::core::EpochInstance;
+using mvcom::core::run_epoch_chain;
+using mvcom::core::run_with_events;
+using mvcom::core::SeParams;
+using mvcom::core::SeScheduler;
+
+std::vector<Committee> make_committees(std::uint64_t seed, std::size_t n) {
+  mvcom::common::Rng rng(seed);
+  std::vector<Committee> committees;
+  for (std::size_t i = 0; i < n; ++i) {
+    committees.push_back({static_cast<std::uint32_t>(i),
+                          600 + rng.below(1000),
+                          600.0 + rng.uniform(0.0, 800.0)});
+  }
+  return committees;
+}
+
+EpochInstance make_instance(std::uint64_t seed, std::size_t n = 12,
+                            std::size_t n_min = 3) {
+  auto committees = make_committees(seed, n);
+  std::uint64_t total = 0;
+  for (const auto& c : committees) total += c.txs;
+  return EpochInstance(std::move(committees), 1.5, (total * 7) / 10, n_min);
+}
+
+SeParams quick_params() {
+  SeParams p;
+  p.threads = 2;
+  return p;
+}
+
+TEST(RunWithEventsTest, TracesEveryIterationAndMarksEvents) {
+  SeScheduler scheduler(make_instance(1), quick_params(), 1);
+  std::vector<DynamicEvent> events;
+  events.push_back({200, DynamicEvent::Kind::kJoin, {50, 900, 1100.0}});
+  events.push_back({400, DynamicEvent::Kind::kLeave, {50, 0, 0.0}});
+  const DynamicTrace trace = run_with_events(scheduler, 600, events);
+  EXPECT_EQ(trace.utility.size(), 600u);
+  EXPECT_EQ(trace.event_iterations.size(), 2u);
+  EXPECT_EQ(trace.event_iterations[0], 200u);
+  EXPECT_EQ(trace.event_iterations[1], 400u);
+  EXPECT_FALSE(trace.final_selection.empty());
+  EXPECT_TRUE(scheduler.instance().feasible(trace.final_selection));
+}
+
+TEST(RunWithEventsTest, LeaveOfSelectedCommitteeDipsThenRecovers) {
+  // Fig. 9(a): "the performance perturbation brought by the leaving event is
+  // shown pretty large ... SE can still quickly find a pretty good converged
+  // solution with a trimmed solution space."
+  SeScheduler scheduler(make_instance(2, 14, 3), quick_params(), 2);
+  // Converge first.
+  for (int i = 0; i < 1000; ++i) scheduler.step();
+  const double converged = scheduler.current_utility();
+  ASSERT_FALSE(std::isnan(converged));
+
+  // Remove the highest-gain selected committee.
+  const auto selection = scheduler.current_selection();
+  std::uint32_t victim = 0;
+  double best_gain = -1e300;
+  for (std::size_t i = 0; i < selection.size(); ++i) {
+    if (selection[i] && scheduler.instance().gain(i) > best_gain) {
+      best_gain = scheduler.instance().gain(i);
+      victim = scheduler.instance().committees()[i].id;
+    }
+  }
+  scheduler.remove_committee(victim);
+  const double at_failure = scheduler.current_utility();
+  // Removing the most valuable member cannot improve the best utility.
+  if (!std::isnan(at_failure)) {
+    EXPECT_LE(at_failure, converged + 1e-9);
+  }
+  for (int i = 0; i < 1500; ++i) scheduler.step();
+  const double recovered = scheduler.current_utility();
+  ASSERT_FALSE(std::isnan(recovered));
+  if (!std::isnan(at_failure)) {
+    EXPECT_GE(recovered, at_failure - 1e-9);
+  }
+  EXPECT_LE(recovered, converged + 1e-9);  // trimmed space can't beat F
+}
+
+TEST(RunWithEventsTest, ConsecutiveJoinsKeepFeasibility) {
+  // Fig. 9(b) / Fig. 14: consecutive joining events.
+  auto committees = make_committees(3, 8);
+  std::uint64_t total = 0;
+  for (const auto& c : committees) total += c.txs;
+  EpochInstance inst(committees, 1.5, total, 2);
+  SeScheduler scheduler(inst, quick_params(), 3);
+  std::vector<DynamicEvent> events;
+  mvcom::common::Rng rng(33);
+  for (std::size_t j = 0; j < 6; ++j) {
+    events.push_back({100 + 150 * j,
+                      DynamicEvent::Kind::kJoin,
+                      {static_cast<std::uint32_t>(100 + j),
+                       600 + rng.below(800), 700.0 + rng.uniform(0.0, 600.0)}});
+  }
+  const DynamicTrace trace = run_with_events(scheduler, 1200, events);
+  EXPECT_EQ(scheduler.instance().size(), 14u);
+  EXPECT_TRUE(scheduler.instance().feasible(trace.final_selection));
+  // Utility after all joins should exceed the pre-join converged level:
+  // more committees strictly widen the feasible set... up to deadline
+  // effects, so we only require it to be finite and positive here.
+  EXPECT_FALSE(std::isnan(trace.final_utility));
+}
+
+TEST(EpochChainTest, RefusedCommitteesCarryOverWithReducedLatency) {
+  // Two epochs; capacity so tight in epoch 1 that someone must be refused.
+  std::vector<std::vector<Committee>> fresh(2);
+  fresh[0] = make_committees(4, 10);
+  fresh[1] = make_committees(5, 4);
+  std::uint64_t epoch1_total = 0;
+  for (const auto& c : fresh[0]) epoch1_total += c.txs;
+
+  EpochChainParams params;
+  params.alpha = 1.5;
+  params.capacity = epoch1_total / 2;  // refuse roughly half
+  params.n_min = 2;
+  params.se = SeParams{};
+  params.se.threads = 2;
+  params.se.max_iterations = 2000;
+
+  const auto result = run_epoch_chain(fresh, params, 7);
+  ASSERT_EQ(result.epoch_utilities.size(), 2u);
+  ASSERT_EQ(result.refused_counts.size(), 2u);
+  EXPECT_GT(result.refused_counts[0], 0u);
+  EXPECT_GT(result.total_permitted_txs, 0u);
+  EXPECT_GT(result.epoch_utilities[0], 0.0);
+}
+
+TEST(EpochChainTest, EmptyScheduleYieldsEmptyResult) {
+  const auto result = run_epoch_chain({}, EpochChainParams{}, 1);
+  EXPECT_TRUE(result.epoch_utilities.empty());
+  EXPECT_EQ(result.total_permitted_txs, 0u);
+}
+
+}  // namespace

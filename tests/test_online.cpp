@@ -1,0 +1,163 @@
+// Tests for OnlineCommitteeScheduler — Alg. 1's listening loops end to end:
+// bootstrap condition, arrival handling, N_max cutoff, failures/recoveries.
+
+#include "mvcom/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace {
+
+using mvcom::core::OnlineCommitteeScheduler;
+using mvcom::core::OnlineSchedulerConfig;
+using mvcom::txn::ShardReport;
+
+ShardReport report(std::uint32_t id, std::uint64_t txs, double latency) {
+  ShardReport r;
+  r.committee_id = id;
+  r.tx_count = txs;
+  r.formation_latency = latency;
+  r.consensus_latency = 0.0;
+  return r;
+}
+
+OnlineSchedulerConfig config(std::size_t expected = 10,
+                             std::uint64_t capacity = 4000) {
+  OnlineSchedulerConfig c;
+  c.alpha = 1.5;
+  c.capacity = capacity;
+  c.expected_committees = expected;
+  c.se.threads = 2;
+  return c;
+}
+
+TEST(OnlineSchedulerTest, BootstrapWaitsForNminAndBindingCapacity) {
+  // Alg. 1 line 1: exploration starts only when the number of arrived
+  // committees exceeds N_min AND Σ s > Ĉ.
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 1);
+  EXPECT_EQ(scheduler.n_min(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(scheduler.on_report(report(i, 500, 700.0 + i * 10)));
+    EXPECT_FALSE(scheduler.bootstrapped());  // <= N_min arrived
+  }
+  // 6th arrival: count > N_min but Σ s = 3000 <= 4000: still waiting.
+  EXPECT_TRUE(scheduler.on_report(report(5, 500, 760.0)));
+  EXPECT_FALSE(scheduler.bootstrapped());
+  // 7th arrival pushes Σ s to 4200 > Ĉ: bootstrap.
+  EXPECT_TRUE(scheduler.on_report(report(6, 1200, 770.0)));
+  EXPECT_TRUE(scheduler.bootstrapped());
+}
+
+TEST(OnlineSchedulerTest, DuplicateReportsAreRefused) {
+  OnlineCommitteeScheduler scheduler(config(), 2);
+  EXPECT_TRUE(scheduler.on_report(report(3, 500, 700.0)));
+  EXPECT_FALSE(scheduler.on_report(report(3, 999, 800.0)));
+  EXPECT_EQ(scheduler.arrived(), 1u);
+}
+
+TEST(OnlineSchedulerTest, StopsListeningAtNmax) {
+  // N_max = 80% of 10 expected → the 8th arrival closes the door.
+  OnlineCommitteeScheduler scheduler(config(), 3);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    EXPECT_TRUE(scheduler.on_report(report(i, 600, 700.0 + i)));
+  }
+  EXPECT_FALSE(scheduler.listening());
+  EXPECT_FALSE(scheduler.on_report(report(8, 600, 710.0)));
+  EXPECT_EQ(scheduler.arrived(), 8u);
+}
+
+TEST(OnlineSchedulerTest, DecisionIsFeasibleAndUsesArrivedCommittees) {
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 4);
+  mvcom::common::Rng rng(5);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    scheduler.on_report(report(i, 500 + rng.below(200), 650.0 + i * 20.0));
+  }
+  scheduler.explore(1000);
+  const auto decision = scheduler.decide();
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_GE(decision.permitted_ids.size(), scheduler.n_min());
+  EXPECT_LE(decision.permitted_txs, 4000u);
+  for (const std::uint32_t id : decision.permitted_ids) {
+    EXPECT_LT(id, 8u);
+  }
+}
+
+TEST(OnlineSchedulerTest, SlackCapacityPermitsEveryone) {
+  // Capacity never binds: no bootstrap, decision = everyone (if N_min ok).
+  OnlineCommitteeScheduler scheduler(config(10, 1'000'000), 5);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    scheduler.on_report(report(i, 500, 700.0 + i));
+  }
+  EXPECT_FALSE(scheduler.bootstrapped());
+  const auto decision = scheduler.decide();
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_EQ(decision.permitted_ids.size(), 8u);
+}
+
+TEST(OnlineSchedulerTest, FailureRemovesCommitteeFromDecisions) {
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 6);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    scheduler.on_report(report(i, 700, 650.0 + i * 15.0));
+  }
+  scheduler.explore(500);
+  scheduler.on_failure(2);
+  scheduler.explore(500);
+  const auto decision = scheduler.decide();
+  ASSERT_TRUE(decision.feasible);
+  for (const std::uint32_t id : decision.permitted_ids) {
+    EXPECT_NE(id, 2u);
+  }
+}
+
+TEST(OnlineSchedulerTest, FailureOfUnknownIdIsNoop) {
+  OnlineCommitteeScheduler scheduler(config(), 7);
+  scheduler.on_report(report(0, 500, 700.0));
+  scheduler.on_failure(42);
+  EXPECT_EQ(scheduler.arrived(), 1u);
+}
+
+TEST(OnlineSchedulerTest, RecoveryRejoinsEvenAfterNmax) {
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 8);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    scheduler.on_report(report(i, 700, 650.0 + i * 15.0));
+  }
+  EXPECT_FALSE(scheduler.listening());
+  scheduler.on_failure(4);
+  EXPECT_EQ(scheduler.arrived(), 7u);
+  // Fig. 9(a): the failed committee recovers online shortly.
+  EXPECT_TRUE(scheduler.on_recovery(report(4, 700, 710.0)));
+  EXPECT_EQ(scheduler.arrived(), 8u);
+  EXPECT_FALSE(scheduler.listening());  // the door stays closed for others
+  EXPECT_FALSE(scheduler.on_report(report(9, 700, 720.0)));
+}
+
+TEST(OnlineSchedulerTest, AllCommitteesFailingResetsBootstrap) {
+  OnlineCommitteeScheduler scheduler(config(4, 1000), 9);
+  scheduler.on_report(report(0, 600, 700.0));
+  scheduler.on_report(report(1, 600, 710.0));
+  scheduler.on_report(report(2, 600, 720.0));
+  ASSERT_TRUE(scheduler.bootstrapped());
+  scheduler.on_failure(0);
+  scheduler.on_failure(1);
+  scheduler.on_failure(2);
+  EXPECT_FALSE(scheduler.bootstrapped());
+  EXPECT_FALSE(scheduler.decide().feasible);
+}
+
+TEST(OnlineSchedulerTest, RejectsDegenerateConfigs) {
+  OnlineSchedulerConfig no_capacity = config();
+  no_capacity.capacity = 0;
+  EXPECT_THROW(OnlineCommitteeScheduler(no_capacity, 1),
+               std::invalid_argument);
+  OnlineSchedulerConfig no_expected = config();
+  no_expected.expected_committees = 0;
+  EXPECT_THROW(OnlineCommitteeScheduler(no_expected, 1),
+               std::invalid_argument);
+  OnlineSchedulerConfig bad_fraction = config();
+  bad_fraction.n_max_fraction = 1.5;
+  EXPECT_THROW(OnlineCommitteeScheduler(bad_fraction, 1),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,174 @@
+// Tests for the message-level PBFT simulation: liveness under crash faults,
+// view changes on leader failure, and — the property PBFT exists for —
+// safety under an equivocating leader.
+
+#include "consensus/pbft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::common::SimTime;
+using mvcom::consensus::FaultMode;
+using mvcom::consensus::PbftCluster;
+using mvcom::consensus::PbftConfig;
+using mvcom::consensus::PbftResult;
+using mvcom::crypto::Digest;
+using mvcom::crypto::Sha256;
+using mvcom::net::Network;
+using mvcom::sim::Simulator;
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::uint64_t seed = 1)
+      : network(simulator, Rng(seed),
+                std::make_shared<mvcom::net::UniformLatency>(SimTime(0.5),
+                                                             SimTime(1.5)),
+                n) {
+    std::vector<mvcom::net::NodeId> members(n);
+    std::iota(members.begin(), members.end(), 0u);
+    PbftConfig config;
+    config.view_change_timeout = SimTime(60.0);
+    config.verification_mean = SimTime(0.2);
+    cluster = std::make_unique<PbftCluster>(simulator, network, config,
+                                            Rng(seed + 1), members);
+  }
+
+  Simulator simulator;
+  Network network;
+  std::unique_ptr<PbftCluster> cluster;
+};
+
+const Digest kPayload = Sha256::hash("shard-block");
+
+TEST(PbftTest, AllHonestCommitsQuickly) {
+  Fixture fx(4);
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.committed_digest, kPayload);
+  EXPECT_GT(result.latency.seconds(), 0.0);
+  EXPECT_LT(result.latency.seconds(), 60.0);  // no view change needed
+  EXPECT_EQ(result.view_changes, 0u);
+}
+
+TEST(PbftTest, QuorumOfReplicasRecordsCommitTimes) {
+  Fixture fx(7);
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  ASSERT_TRUE(result.committed);
+  std::size_t committed = 0;
+  for (const SimTime t : result.replica_commit_times) {
+    if (!t.is_infinite()) {
+      ++committed;
+      EXPECT_GE(t.seconds(), 0.0);
+    }
+  }
+  EXPECT_GE(committed, fx.cluster->quorum_size());
+}
+
+TEST(PbftTest, ToleratesSilentFollowers) {
+  Fixture fx(7);  // f = 2
+  fx.cluster->set_fault(3, FaultMode::kSilent);
+  fx.cluster->set_fault(5, FaultMode::kSilent);
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.committed_digest, kPayload);
+  EXPECT_EQ(result.view_changes, 0u);
+}
+
+TEST(PbftTest, SilentLeaderTriggersViewChangeThenCommits) {
+  Fixture fx(4);
+  fx.cluster->set_fault(0, FaultMode::kSilent);  // view-0 leader crashed
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.committed_digest, kPayload);
+  EXPECT_GE(result.view_changes, 1u);
+  EXPECT_GT(result.latency.seconds(), 60.0);  // paid at least one timeout
+}
+
+TEST(PbftTest, TooManyCrashesPreventCommit) {
+  Fixture fx(4);  // f = 1, so 2 crashes break the quorum
+  fx.cluster->set_fault(1, FaultMode::kSilent);
+  fx.cluster->set_fault(2, FaultMode::kSilent);
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_FALSE(result.committed);
+}
+
+TEST(PbftTest, EquivocatingLeaderCannotSplitDecision) {
+  // Safety: quorum intersection prevents conflicting commits even when the
+  // leader proposes different payloads to different halves; the view change
+  // recovers liveness and all committed replicas agree on one digest.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Fixture fx(7, seed);
+    fx.cluster->set_fault(0, FaultMode::kEquivocate);
+    const PbftResult result = fx.cluster->run_consensus(kPayload);
+    if (result.committed) {
+      // Every replica that committed must have committed the same digest.
+      // (The cluster-level digest is the quorum digest by construction; the
+      // per-replica check is the real assertion.)
+      EXPECT_TRUE(fx.cluster->committed_digests_consistent())
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(PbftTest, ConsecutiveInstancesOnSameCluster) {
+  Fixture fx(4);
+  const PbftResult first = fx.cluster->run_consensus(kPayload);
+  ASSERT_TRUE(first.committed);
+  const Digest second_payload = Sha256::hash("next-shard");
+  const PbftResult second = fx.cluster->run_consensus(second_payload);
+  EXPECT_TRUE(second.committed);
+  EXPECT_EQ(second.committed_digest, second_payload);
+}
+
+TEST(PbftTest, SlowerVerificationIncreasesLatency) {
+  Fixture fast(4, 7);
+  Fixture slow(4, 7);
+  for (std::size_t r = 0; r < 4; ++r) slow.cluster->set_speed_factor(r, 10.0);
+  const double fast_latency =
+      fast.cluster->run_consensus(kPayload).latency.seconds();
+  const double slow_latency =
+      slow.cluster->run_consensus(kPayload).latency.seconds();
+  EXPECT_GT(slow_latency, fast_latency);
+}
+
+TEST(PbftTest, RejectsMembersOutsideNetwork) {
+  Simulator sim;
+  Network net(sim, Rng(1),
+              std::make_shared<mvcom::net::FixedLatency>(SimTime(1.0)), 2);
+  EXPECT_THROW(PbftCluster(sim, net, PbftConfig{}, Rng(2), {0, 1, 5}),
+               std::invalid_argument);
+  EXPECT_THROW(PbftCluster(sim, net, PbftConfig{}, Rng(2), {}),
+               std::invalid_argument);
+}
+
+// Sweep: liveness with exactly f silent replicas for several cluster sizes.
+class PbftFaultSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PbftFaultSweep, CommitsWithMaxTolerableSilentFaults) {
+  const std::size_t n = GetParam();
+  Fixture fx(n, 3);
+  const std::size_t f = (n - 1) / 3;
+  // Crash the last f replicas (never the view-0 leader, to isolate the
+  // crash-tolerance property from view-change liveness).
+  for (std::size_t k = 0; k < f; ++k) {
+    fx.cluster->set_fault(n - 1 - k, FaultMode::kSilent);
+  }
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_TRUE(result.committed) << "n=" << n << " f=" << f;
+  EXPECT_EQ(result.committed_digest, kPayload);
+}
+
+INSTANTIATE_TEST_SUITE_P(ClusterSizes, PbftFaultSweep,
+                         ::testing::Values(4, 7, 10, 13, 16));
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Adversarial and resource-bound tests for the PBFT simulation: partitions,
+// cascaded leader failures, message-complexity bounds, and fault-mode edge
+// cases beyond the happy paths of test_pbft.cpp.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "consensus/pbft.hpp"
+#include "crypto/sha256.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::common::SimTime;
+using mvcom::consensus::FaultMode;
+using mvcom::consensus::PbftCluster;
+using mvcom::consensus::PbftConfig;
+using mvcom::consensus::PbftResult;
+using mvcom::crypto::Sha256;
+using mvcom::net::Network;
+using mvcom::sim::Simulator;
+
+struct Fixture {
+  explicit Fixture(std::size_t n, std::uint64_t seed = 1)
+      : network(simulator, Rng(seed),
+                std::make_shared<mvcom::net::UniformLatency>(SimTime(0.5),
+                                                             SimTime(1.5)),
+                n) {
+    std::vector<mvcom::net::NodeId> members(n);
+    std::iota(members.begin(), members.end(), 0u);
+    PbftConfig config;
+    config.view_change_timeout = SimTime(60.0);
+    config.verification_mean = SimTime(0.2);
+    cluster = std::make_unique<PbftCluster>(simulator, network, config,
+                                            Rng(seed + 1), members);
+  }
+  Simulator simulator;
+  Network network;
+  std::unique_ptr<PbftCluster> cluster;
+};
+
+const auto kPayload = Sha256::hash("block");
+
+TEST(PbftAdversarialTest, NetworkPartitionBlocksProgressUntilHealed) {
+  Fixture fx(7);
+  // Partition: 3 of 7 nodes unreachable (> f = 2): no quorum.
+  for (mvcom::net::NodeId node : {4u, 5u, 6u}) {
+    fx.network.set_failed(node, true);
+  }
+  bool decided = false;
+  PbftResult outcome;
+  fx.cluster->start_consensus(kPayload, [&](const PbftResult& r) {
+    decided = true;
+    outcome = r;
+  });
+  // Let the partition last a while: no decision possible.
+  fx.simulator.run_until(SimTime(500.0));
+  EXPECT_FALSE(decided);
+  // Heal the partition; the periodic view-change retries re-broadcast and
+  // the instance eventually commits.
+  for (mvcom::net::NodeId node : {4u, 5u, 6u}) {
+    fx.network.set_failed(node, false);
+  }
+  fx.simulator.run();
+  ASSERT_TRUE(decided);
+  EXPECT_TRUE(outcome.committed);
+  EXPECT_EQ(outcome.committed_digest, kPayload);
+  EXPECT_TRUE(fx.cluster->committed_digests_consistent());
+}
+
+TEST(PbftAdversarialTest, TwoConsecutiveSilentLeadersStillCommit) {
+  Fixture fx(7);  // f = 2: leaders of views 0 and 1 may both be faulty
+  fx.cluster->set_fault(0, FaultMode::kSilent);
+  fx.cluster->set_fault(1, FaultMode::kSilent);
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.committed_digest, kPayload);
+  EXPECT_GE(result.view_changes, 1u);
+  // Two timeouts were paid before a live leader took over.
+  EXPECT_GT(result.latency.seconds(), 2 * 60.0);
+}
+
+TEST(PbftAdversarialTest, MessageComplexityIsQuadraticNotWorse) {
+  // Happy path: pre-prepare (n−1) + prepare/commit broadcasts ≈ 2n² sends.
+  for (const std::size_t n : {4u, 7u, 13u}) {
+    Fixture fx(n, 5);
+    const PbftResult result = fx.cluster->run_consensus(kPayload);
+    ASSERT_TRUE(result.committed);
+    const auto bound = static_cast<std::uint64_t>(3 * n * n);
+    EXPECT_LE(result.messages, bound) << "n=" << n;
+    EXPECT_GE(result.messages, static_cast<std::uint64_t>(n));
+  }
+}
+
+TEST(PbftAdversarialTest, EquivocatorAsFollowerIsHarmless) {
+  Fixture fx(4);
+  fx.cluster->set_fault(2, FaultMode::kEquivocate);  // not the leader
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_TRUE(result.committed);
+  EXPECT_EQ(result.committed_digest, kPayload);
+  EXPECT_EQ(result.view_changes, 0u);
+}
+
+TEST(PbftAdversarialTest, EquivocatingLeaderAtScaleSweepsStaySafe) {
+  for (const std::size_t n : {7u, 10u, 13u}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      Fixture fx(n, seed * 11);
+      fx.cluster->set_fault(0, FaultMode::kEquivocate);
+      fx.cluster->run_consensus(kPayload);
+      EXPECT_TRUE(fx.cluster->committed_digests_consistent())
+          << "n=" << n << " seed=" << seed;
+    }
+  }
+}
+
+TEST(PbftAdversarialTest, MixedSilentAndEquivocatingWithinF) {
+  Fixture fx(7);  // f = 2: one silent follower + equivocating leader
+  fx.cluster->set_fault(0, FaultMode::kEquivocate);
+  fx.cluster->set_fault(4, FaultMode::kSilent);
+  fx.cluster->run_consensus(kPayload);
+  EXPECT_TRUE(fx.cluster->committed_digests_consistent());
+}
+
+TEST(PbftAdversarialTest, HorizonAbortsReportNoCommit) {
+  Fixture fx(4);
+  // All followers crashed: nothing can ever commit; the horizon fires.
+  fx.cluster->set_fault(1, FaultMode::kSilent);
+  fx.cluster->set_fault(2, FaultMode::kSilent);
+  fx.cluster->set_fault(3, FaultMode::kSilent);
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  EXPECT_FALSE(result.committed);
+  for (const SimTime t : result.replica_commit_times) {
+    EXPECT_TRUE(t.is_infinite());
+  }
+}
+
+TEST(PbftAdversarialTest, SurvivesModerateMessageLoss) {
+  // 5% independent loss: broadcast redundancy plus view-change retries keep
+  // both safety and (eventual) liveness.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Fixture fx(7, seed * 13);
+    fx.network.set_loss_probability(0.05);
+    const PbftResult result = fx.cluster->run_consensus(kPayload);
+    EXPECT_TRUE(fx.cluster->committed_digests_consistent())
+        << "seed " << seed;
+    EXPECT_TRUE(result.committed) << "seed " << seed;
+    if (result.committed) {
+      EXPECT_EQ(result.committed_digest, kPayload);
+    }
+  }
+}
+
+TEST(PbftAdversarialTest, HeavyMessageLossSlowsButDoesNotForkDecisions) {
+  Fixture fx(7, 3);
+  fx.network.set_loss_probability(0.30);
+  fx.cluster->run_consensus(kPayload);
+  // Liveness may be gone at 30% loss; safety must not be.
+  EXPECT_TRUE(fx.cluster->committed_digests_consistent());
+  EXPECT_GT(fx.network.messages_dropped(), 0u);
+}
+
+TEST(PbftAdversarialTest, ReplicaCommitTimesAreOrderedAfterQuorumTime) {
+  Fixture fx(7, 9);
+  const PbftResult result = fx.cluster->run_consensus(kPayload);
+  ASSERT_TRUE(result.committed);
+  // The cluster's decision instant is when the quorum-th replica committed;
+  // no committed replica can be earlier than the first commit.
+  double earliest = 1e18;
+  for (const SimTime t : result.replica_commit_times) {
+    if (!t.is_infinite()) earliest = std::min(earliest, t.seconds());
+  }
+  EXPECT_LE(earliest, result.latency.seconds());
+}
+
+}  // namespace

@@ -1,0 +1,232 @@
+// Unit and statistical tests for common/rng — determinism, bounds,
+// unbiasedness, and distribution moments. Every stochastic result in the
+// repository rests on this engine, so the moments are checked tightly.
+
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::common::SplitMix64;
+
+TEST(SplitMix64Test, KnownSequenceIsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.fork();
+  // The child must not replay the parent's stream.
+  Rng parent2(7);
+  parent2.fork();
+  std::vector<std::uint64_t> child_seq;
+  Rng child2 = Rng(7).fork();
+  for (int i = 0; i < 100; ++i) child_seq.push_back(child2());
+  // Deterministic: forking from the same root gives the same child.
+  Rng child3 = Rng(7).fork();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(child3(), child_seq[static_cast<std::size_t>(i)]);
+  }
+  // And different from the parent's own continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) any_diff |= (parent2() != child());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, Uniform01InRange) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanIsHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, BelowStaysInBounds) {
+  Rng rng(5);
+  for (std::uint64_t n : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 33)}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.below(n), n);
+    }
+  }
+}
+
+TEST(RngTest, BelowIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr std::uint64_t kBuckets = 7;
+  std::array<int, kBuckets> counts{};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.below(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / static_cast<double>(kBuckets),
+                0.05 * n / static_cast<double>(kBuckets));
+  }
+}
+
+TEST(RngTest, UniformIntCoversInclusiveRange) {
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng rng(19);
+  const double mean = 600.0;  // the paper's PoW solve expectation
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, 0.01 * mean);
+}
+
+TEST(RngTest, ExponentialIsNonNegative) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(rng.exponential(1.0), 0.0);
+  }
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(29);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, LognormalTargetsRequestedMoments) {
+  Rng rng(31);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormal_mean_sd(54.5, 20.0);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double sd = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 54.5, 0.5);
+  EXPECT_NEAR(sd, 20.0, 0.6);
+}
+
+TEST(RngTest, PoissonMeanMatchesSmallAndLargeLambda) {
+  Rng rng(37);
+  for (const double lambda : {0.5, 5.0, 30.0, 500.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.poisson(lambda));
+    }
+    EXPECT_NEAR(sum / n, lambda, std::max(0.05, 0.02 * lambda))
+        << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, SampleIndicesAreDistinctAndInRange) {
+  Rng rng(41);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto sample = rng.sample_indices(50, 20);
+    EXPECT_EQ(sample.size(), 20u);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 20u);
+    for (const std::size_t i : sample) EXPECT_LT(i, 50u);
+  }
+}
+
+TEST(RngTest, SampleIndicesFullSetIsPermutation) {
+  Rng rng(43);
+  const auto sample = rng.sample_indices(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(std::span<int>(v));
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(RngTest, BernoulliProbability) {
+  Rng rng(53);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+// Property sweep: the exponential distribution's memorylessness is what
+// justifies both the PoW latency model and the SE timer race; check the
+// conditional-mean property over several means.
+class ExponentialMemorylessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ExponentialMemorylessTest, ConditionalTailMeanEqualsMean) {
+  const double mean = GetParam();
+  Rng rng(59);
+  const double threshold = mean;  // condition on X > mean
+  double sum = 0.0;
+  int count = 0;
+  for (int i = 0; i < 600000; ++i) {
+    const double x = rng.exponential(mean);
+    if (x > threshold) {
+      sum += x - threshold;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 1000);
+  EXPECT_NEAR(sum / count, mean, 0.05 * mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Means, ExponentialMemorylessTest,
+                         ::testing::Values(1.0, 54.5, 600.0));
+
+}  // namespace

@@ -1,0 +1,242 @@
+// Tests for the SE scheduler (Alg. 1–3): feasibility invariants,
+// near-optimality against exhaustive ground truth, the Γ-threads effect,
+// and online join/leave dynamics.
+
+#include "mvcom/se_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/exhaustive.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using mvcom::baselines::Exhaustive;
+using mvcom::core::Committee;
+using mvcom::core::EpochInstance;
+using mvcom::core::Selection;
+using mvcom::core::SeParams;
+using mvcom::core::SeResult;
+using mvcom::core::SeScheduler;
+
+/// Random instance small enough for exhaustive ground truth.
+EpochInstance random_instance(std::uint64_t seed, std::size_t n = 12,
+                              std::size_t n_min = 3) {
+  mvcom::common::Rng rng(seed);
+  std::vector<Committee> committees;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Committee c;
+    c.id = static_cast<std::uint32_t>(i);
+    c.txs = 500 + rng.below(1500);
+    c.latency = 600.0 + rng.uniform(0.0, 900.0);
+    total += c.txs;
+    committees.push_back(c);
+  }
+  // Capacity ~70% of the total: the knapsack genuinely binds.
+  return EpochInstance(std::move(committees), 1.5, (total * 7) / 10, n_min);
+}
+
+SeParams quick_params(std::size_t threads = 2) {
+  SeParams p;
+  p.threads = threads;
+  p.max_iterations = 3000;
+  p.convergence_window = 400;
+  return p;
+}
+
+TEST(SeSchedulerTest, ResultIsAlwaysFeasible) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const EpochInstance inst = random_instance(seed);
+    SeScheduler scheduler(inst, quick_params(), seed);
+    const SeResult result = scheduler.run();
+    ASSERT_TRUE(result.feasible) << "seed " << seed;
+    EXPECT_TRUE(inst.feasible(result.best)) << "seed " << seed;
+    EXPECT_NEAR(inst.utility(result.best), result.utility, 1e-6);
+  }
+}
+
+TEST(SeSchedulerTest, ConvergesNearExhaustiveOptimum) {
+  // Remark 1 bounds the approximation loss by (1/β)log|F|; on these small
+  // instances the converged SE solution should be within a few percent of
+  // the exact optimum (and usually exact).
+  Exhaustive exact;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const EpochInstance inst = random_instance(seed);
+    const auto truth = exact.solve(inst);
+    ASSERT_TRUE(truth.feasible);
+    SeScheduler scheduler(inst, quick_params(4), seed * 17);
+    const SeResult result = scheduler.run();
+    ASSERT_TRUE(result.feasible);
+    EXPECT_LE(result.utility, truth.utility + 1e-6) << "seed " << seed;
+    EXPECT_GE(result.utility, 0.93 * truth.utility)
+        << "seed " << seed << ": SE " << result.utility << " vs optimum "
+        << truth.utility;
+  }
+}
+
+TEST(SeSchedulerTest, UtilityTraceReachesConvergence) {
+  const EpochInstance inst = random_instance(3);
+  SeScheduler scheduler(inst, quick_params(), 99);
+  const SeResult result = scheduler.run();
+  EXPECT_TRUE(result.converged);
+  EXPECT_FALSE(result.utility_trace.empty());
+  // The trace's maximum equals the reported converged utility.
+  double max_seen = -1e300;
+  for (const double u : result.utility_trace) {
+    if (!std::isnan(u)) max_seen = std::max(max_seen, u);
+  }
+  EXPECT_NEAR(max_seen, result.utility, 1e-9);
+}
+
+TEST(SeSchedulerTest, SelectionsRespectCapacityThroughoutTheRun) {
+  const EpochInstance inst = random_instance(4);
+  SeScheduler scheduler(inst, quick_params(1), 5);
+  for (int it = 0; it < 500; ++it) {
+    scheduler.step();
+    if (it % 50 == 0) {
+      const Selection x = scheduler.current_selection();
+      if (x.empty()) continue;
+      const auto st = inst.stats(x);
+      ASSERT_LE(st.txs, inst.capacity()) << "iteration " << it;
+      ASSERT_GE(st.chosen, inst.n_min()) << "iteration " << it;
+    }
+  }
+}
+
+TEST(SeSchedulerTest, MoreThreadsConvergeAtLeastAsWell) {
+  // Fig. 8's qualitative claim: larger Γ converges to at least as good a
+  // utility. Averaged over seeds to damp noise.
+  double single = 0.0;
+  double multi = 0.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const EpochInstance inst = random_instance(seed, 14);
+    SeParams p1 = quick_params(1);
+    p1.max_iterations = 800;
+    p1.convergence_window = 900;  // never early-stop: fixed budget
+    SeParams p8 = p1;
+    p8.threads = 8;
+    SeScheduler s1(inst, p1, seed);
+    SeScheduler s8(inst, p8, seed);
+    single += s1.run().utility;
+    multi += s8.run().utility;
+  }
+  EXPECT_GE(multi, single);
+}
+
+TEST(SeSchedulerTest, InfeasibleNminYieldsNoSolution) {
+  // N_min = |I| but the full set exceeds capacity: no feasible selection.
+  std::vector<Committee> committees{{0, 100, 1.0}, {1, 100, 2.0}};
+  const EpochInstance inst(committees, 1.0, 150, 2);
+  SeScheduler scheduler(inst, quick_params(), 1);
+  const SeResult result = scheduler.run();
+  EXPECT_FALSE(result.feasible);
+  EXPECT_TRUE(result.best.empty());
+}
+
+TEST(SeSchedulerTest, FullSetSolutionUsedWhenCapacityAllows) {
+  // Everything fits: the optimum (all positive gains) is the full set,
+  // which only exists via the static f_|I| solution of Alg. 1 line 25.
+  std::vector<Committee> committees;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    committees.push_back({i, 100, 500.0 + i});
+  }
+  const EpochInstance inst(committees, 10.0, 10'000, 0);
+  SeScheduler scheduler(inst, quick_params(), 2);
+  const SeResult result = scheduler.run();
+  ASSERT_TRUE(result.feasible);
+  for (const auto bit : result.best) EXPECT_EQ(bit, 1);
+}
+
+TEST(SeSchedulerTest, RejectsInvalidParams) {
+  const EpochInstance inst = random_instance(1);
+  SeParams no_threads;
+  no_threads.threads = 0;
+  EXPECT_THROW(SeScheduler(inst, no_threads, 1), std::invalid_argument);
+  SeParams bad_beta;
+  bad_beta.beta = 0.0;
+  EXPECT_THROW(SeScheduler(inst, bad_beta, 1), std::invalid_argument);
+}
+
+// --- Online dynamics ---------------------------------------------------------
+
+TEST(SeSchedulerDynamicsTest, JoinGrowsTheInstanceAndStaysFeasible) {
+  const EpochInstance inst = random_instance(7, 10, 2);
+  SeScheduler scheduler(inst, quick_params(1), 3);
+  for (int i = 0; i < 200; ++i) scheduler.step();
+  scheduler.add_committee({100, 800, 950.0});
+  EXPECT_EQ(scheduler.instance().size(), 11u);
+  for (int i = 0; i < 200; ++i) scheduler.step();
+  const Selection x = scheduler.current_selection();
+  ASSERT_FALSE(x.empty());
+  EXPECT_TRUE(scheduler.instance().feasible(x));
+}
+
+TEST(SeSchedulerDynamicsTest, LeaveShrinksAndRecovers) {
+  const EpochInstance inst = random_instance(8, 10, 2);
+  SeScheduler scheduler(inst, quick_params(2), 4);
+  for (int i = 0; i < 300; ++i) scheduler.step();
+  const double before = scheduler.current_utility();
+  ASSERT_FALSE(std::isnan(before));
+
+  // Fail a committee that is in the current best selection so the trimmed
+  // space (Fig. 7) really bites.
+  const Selection x = scheduler.current_selection();
+  std::uint32_t victim = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i]) {
+      victim = scheduler.instance().committees()[i].id;
+      break;
+    }
+  }
+  scheduler.remove_committee(victim);
+  EXPECT_EQ(scheduler.instance().size(), 9u);
+  for (int i = 0; i < 600; ++i) scheduler.step();
+  const Selection after = scheduler.current_selection();
+  ASSERT_FALSE(after.empty());
+  EXPECT_TRUE(scheduler.instance().feasible(after));
+  // The failed committee is gone from the instance entirely.
+  for (const Committee& c : scheduler.instance().committees()) {
+    EXPECT_NE(c.id, victim);
+  }
+}
+
+TEST(SeSchedulerDynamicsTest, RemoveUnknownIdIsNoop) {
+  const EpochInstance inst = random_instance(9);
+  SeScheduler scheduler(inst, quick_params(1), 5);
+  scheduler.remove_committee(424242);
+  EXPECT_EQ(scheduler.instance().size(), inst.size());
+}
+
+TEST(SeSchedulerDynamicsTest, DeadlineTracksJoinedStraggler) {
+  const EpochInstance inst = random_instance(10);
+  SeScheduler scheduler(inst, quick_params(1), 6);
+  const double deadline_before = scheduler.instance().deadline();
+  scheduler.add_committee({200, 700, deadline_before + 500.0});
+  EXPECT_DOUBLE_EQ(scheduler.instance().deadline(), deadline_before + 500.0);
+}
+
+// Sweep β: larger β should (stochastically) not hurt converged utility on a
+// fixed instance — the stationary distribution concentrates on optima.
+class SeBetaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SeBetaSweep, ConvergedUtilityWithinOptimalityLoss) {
+  const double beta = GetParam();
+  const EpochInstance inst = random_instance(11, 12, 2);
+  Exhaustive exact;
+  const auto truth = exact.solve(inst);
+  ASSERT_TRUE(truth.feasible);
+  SeParams p = quick_params(4);
+  p.beta = beta;
+  SeScheduler scheduler(inst, p, 77);
+  const SeResult result = scheduler.run();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GE(result.utility, 0.9 * truth.utility) << "beta " << beta;
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, SeBetaSweep,
+                         ::testing::Values(0.5, 1.0, 2.0, 4.0));
+
+}  // namespace

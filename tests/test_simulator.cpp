@@ -1,0 +1,170 @@
+// Tests for the discrete-event simulation kernel.
+
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using mvcom::common::SimTime;
+using mvcom::sim::EventId;
+using mvcom::sim::Simulator;
+
+TEST(SimTimeTest, ArithmeticAndComparisons) {
+  constexpr SimTime a(2.0);
+  constexpr SimTime b(3.5);
+  static_assert((a + b).seconds() == 5.5);
+  static_assert((b - a).seconds() == 1.5);
+  static_assert((2.0 * a).seconds() == 4.0);
+  static_assert(a < b);
+  static_assert(SimTime::zero() < a);
+  SimTime c = a;
+  c += b;
+  EXPECT_DOUBLE_EQ(c.seconds(), 5.5);
+  c -= a;
+  EXPECT_DOUBLE_EQ(c.seconds(), 3.5);
+}
+
+TEST(SimTimeTest, InfinitySemantics) {
+  constexpr SimTime never = SimTime::infinity();
+  static_assert(never.is_infinite());
+  static_assert(!SimTime(1e18).is_infinite());
+  EXPECT_GT(never, SimTime(1e300));
+  // Infinity absorbs addition — a failed committee's ping never returns.
+  EXPECT_TRUE((never + SimTime(5.0)).is_infinite());
+}
+
+TEST(SimulatorTest, ExecutesInTimestampOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(SimTime(3.0), [&] { order.push_back(3); });
+  sim.schedule_at(SimTime(1.0), [&] { order.push_back(1); });
+  sim.schedule_at(SimTime(2.0), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 3.0);
+}
+
+TEST(SimulatorTest, FifoAmongEqualTimestamps) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(SimTime(1.0), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(SimTime(5.0), [&] {
+    sim.schedule_after(SimTime(2.0), [&] { fired_at = sim.now().seconds(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.0);
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(SimTime(10.0), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime(5.0), [] {}), std::logic_error);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(SimTime(1.0), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, CancelUnknownOrFiredIsNoop) {
+  Simulator sim;
+  const EventId id = sim.schedule_at(SimTime(1.0), [] {});
+  sim.run();
+  sim.cancel(id);              // already fired
+  sim.cancel(EventId{9999});   // never existed
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, RunWithLimitStopsEarly) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(SimTime(static_cast<double>(i)), [&] { ++count; });
+  }
+  EXPECT_EQ(sim.run(2), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(sim.pending(), 3u);
+}
+
+TEST(SimulatorTest, RunUntilHonorsHorizon) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule_at(SimTime(t), [&fired, &sim] {
+      fired.push_back(sim.now().seconds());
+    });
+  }
+  sim.run_until(SimTime(2.5));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 2.5);  // clock advances to horizon
+  sim.run();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(SimulatorTest, RunUntilExecutesEventsSpawnedWithinHorizon) {
+  Simulator sim;
+  int chain = 0;
+  sim.schedule_at(SimTime(1.0), [&] {
+    ++chain;
+    sim.schedule_after(SimTime(0.5), [&] { ++chain; });
+  });
+  sim.run_until(SimTime(2.0));
+  EXPECT_EQ(chain, 2);
+}
+
+TEST(SimulatorTest, RunUntilSkipsCancelledHead) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(SimTime(1.0), [&] { fired = true; });
+  sim.schedule_at(SimTime(2.0), [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.run_until(SimTime(3.0)), 1u);
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, PendingAndExecutedCounters) {
+  Simulator sim;
+  for (int i = 0; i < 4; ++i) {
+    sim.schedule_at(SimTime(static_cast<double>(i)), [] {});
+  }
+  const EventId id = sim.schedule_at(SimTime(10.0), [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.pending(), 4u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 4u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTest, EventsCanScheduleRecursively) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(SimTime(1.0), recurse);
+  };
+  sim.schedule_at(SimTime(0.0), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 99.0);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Tests for the spectral-gap analysis (citation [19] machinery): exact gaps
+// on hand-solvable chains, the relaxation-time sandwich against empirical
+// mixing, and Remark 2's beta dependence measured spectrally.
+
+#include "analysis/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/convergence.hpp"
+#include "common/rng.hpp"
+#include "mvcom/problem.hpp"
+
+namespace {
+
+using mvcom::analysis::enumerate_space;
+using mvcom::analysis::spectral_gap;
+using mvcom::core::Committee;
+using mvcom::core::EpochInstance;
+
+EpochInstance uniform_instance(std::size_t n) {
+  // Equal utilities: the chain is a symmetric random walk on the Johnson
+  // graph J(n, k) whose spectrum is known in closed form.
+  std::vector<Committee> committees;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    committees.push_back({i, 10, 5.0});
+  }
+  return EpochInstance(std::move(committees), 1.0, 10'000, 0, 10.0);
+}
+
+EpochInstance random_instance(std::uint64_t seed, std::size_t n) {
+  mvcom::common::Rng rng(seed);
+  std::vector<Committee> committees;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    committees.push_back({i, 2 + rng.below(6), rng.uniform(0.0, 4.0)});
+  }
+  return EpochInstance(std::move(committees), 1.0, 10'000, 0);
+}
+
+TEST(SpectralTest, TwoStateChainHasKnownGap) {
+  // Two states {a}, {b} with equal utility: rates q_ab = q_ba = 1
+  // (τ = 0, ΔU = 0). The generator's nonzero eigenvalue is 2.
+  const EpochInstance inst = uniform_instance(2);
+  const auto space = enumerate_space(inst, 1);
+  ASSERT_EQ(space.states.size(), 2u);
+  const auto result = spectral_gap(space, 1.0, 0.0);
+  EXPECT_NEAR(result.gap, 2.0, 1e-6);
+  EXPECT_NEAR(result.relaxation_time, 0.5, 1e-6);
+  EXPECT_NEAR(result.pi_min, 0.5, 1e-9);
+}
+
+TEST(SpectralTest, JohnsonGraphGapMatchesClosedForm) {
+  // J(n, k) with unit edge rates: the walk's generator has second-smallest
+  // nonzero eigenvalue n (for the k(n−k)-regular swap walk, gap = n).
+  // Check n=6, k=3: gap = 6.
+  const EpochInstance inst = uniform_instance(6);
+  const auto space = enumerate_space(inst, 3);
+  ASSERT_EQ(space.states.size(), 20u);
+  const auto result = spectral_gap(space, 1.0, 0.0);
+  EXPECT_NEAR(result.gap, 6.0, 1e-5);
+}
+
+TEST(SpectralTest, GapIsPositiveOnIrreducibleSpaces) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const EpochInstance inst = random_instance(seed, 8);
+    const auto space = enumerate_space(inst, 4);
+    const auto result = spectral_gap(space, 1.0, 0.0);
+    EXPECT_GT(result.gap, 0.0) << "seed " << seed;
+    EXPECT_GT(result.pi_min, 0.0);
+    EXPECT_LT(result.t_mix_lower(0.01), result.t_mix_upper(0.01));
+  }
+}
+
+TEST(SpectralTest, RelaxationSandwichBracketsEmpiricalMixing) {
+  // The empirical t_mix(ε) from Gillespie trajectories must respect
+  // (t_rel − 1)·ln(1/2ε) ≤ t_mix ≤ t_rel·ln(1/(ε·π_min)).
+  const EpochInstance inst = random_instance(5, 7);
+  const auto space = enumerate_space(inst, 3);
+  const double epsilon = 0.05;
+  const auto spectral = spectral_gap(space, 1.0, 0.0);
+  mvcom::common::Rng rng(6);
+  const auto empirical = mvcom::analysis::estimate_mixing_time(
+      space, 1.0, 0.0, epsilon, 8.0 * spectral.t_mix_upper(epsilon), 6000, 12,
+      rng);
+  ASSERT_GT(empirical.t_mix, 0.0) << "did not mix within the horizon";
+  EXPECT_LE(empirical.t_mix, spectral.t_mix_upper(epsilon) * 1.1);
+  // The lower bound uses the exact distribution; the empirical estimate is
+  // on a coarse checkpoint grid, so allow a grid factor of 2.
+  EXPECT_GE(2.0 * empirical.t_mix, spectral.t_mix_lower(epsilon));
+}
+
+TEST(SpectralTest, LargerBetaShrinksTheUniformizedGap) {
+  // Remark 2, measured spectrally: sharper stationary laws need more
+  // *transitions* to mix. (The raw CTMC gap can grow with beta because the
+  // absolute rates exp(½βΔU) explode; the uniformized, per-transition gap
+  // is the algorithmically meaningful one.)
+  for (std::uint64_t seed = 5; seed <= 8; ++seed) {
+    const EpochInstance inst = random_instance(seed, 7);
+    const auto space = enumerate_space(inst, 3);
+    const auto gentle = spectral_gap(space, 0.5, 0.0);
+    const auto sharp = spectral_gap(space, 4.0, 0.0);
+    EXPECT_LT(sharp.uniformized_gap(), gentle.uniformized_gap())
+        << "seed " << seed;
+    EXPECT_GT(sharp.max_exit_rate, gentle.max_exit_rate);
+  }
+}
+
+TEST(SpectralTest, RejectsDegenerateSpaces) {
+  const EpochInstance inst = uniform_instance(3);
+  const auto singleton = enumerate_space(inst, 0);
+  EXPECT_THROW(static_cast<void>(spectral_gap(singleton, 1.0, 0.0)),
+               std::invalid_argument);
+}
+
+}  // namespace

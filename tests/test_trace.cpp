@@ -1,0 +1,263 @@
+// Tests for the transaction-trace generator, CSV I/O, and workload builder.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "common/rng.hpp"
+#include "txn/trace_generator.hpp"
+#include "txn/trace_io.hpp"
+#include "txn/workload.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::txn::generate_trace;
+using mvcom::txn::load_trace_csv;
+using mvcom::txn::sample_two_phase_latency;
+using mvcom::txn::ShardFill;
+using mvcom::txn::Trace;
+using mvcom::txn::TraceGeneratorConfig;
+using mvcom::txn::WorkloadConfig;
+using mvcom::txn::WorkloadGenerator;
+using mvcom::txn::write_trace_csv;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mvcom-test-" + std::to_string(std::rand()));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  [[nodiscard]] std::filesystem::path path() const { return path_; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST(TraceGeneratorTest, PaperCalibration) {
+  // §VI-A: 1378 blocks sampled from the first 1.5M TXs of January 2016.
+  Rng rng(1);
+  const Trace trace = generate_trace({}, rng);
+  EXPECT_EQ(trace.blocks.size(), 1378u);
+  EXPECT_EQ(trace.total_txs(), 1'500'000u);
+}
+
+TEST(TraceGeneratorTest, BlocksSortedByTimeWithPositiveCounts) {
+  Rng rng(2);
+  const Trace trace = generate_trace({}, rng);
+  for (std::size_t i = 0; i < trace.blocks.size(); ++i) {
+    EXPECT_GE(trace.blocks[i].tx_count, 1u);
+    EXPECT_EQ(trace.blocks[i].block_id, i);
+    if (i > 0) {
+      EXPECT_GT(trace.blocks[i].btime, trace.blocks[i - 1].btime);
+    }
+  }
+  EXPECT_GE(trace.blocks.front().btime, 1451606400.0);  // 2016-01-01
+}
+
+TEST(TraceGeneratorTest, InterBlockMeanApprox600s) {
+  Rng rng(3);
+  TraceGeneratorConfig config;
+  config.num_blocks = 20000;
+  config.target_total_txs = 20'000'000;
+  const Trace trace = generate_trace(config, rng);
+  const double span = trace.blocks.back().btime - trace.blocks.front().btime;
+  EXPECT_NEAR(span / static_cast<double>(trace.blocks.size() - 1), 600.0,
+              20.0);
+}
+
+TEST(TraceGeneratorTest, HashesAreUniqueHex) {
+  Rng rng(4);
+  const Trace trace = generate_trace({}, rng);
+  std::set<std::string> hashes;
+  for (const auto& b : trace.blocks) {
+    EXPECT_EQ(b.bhash.size(), 64u);
+    hashes.insert(b.bhash);
+  }
+  EXPECT_EQ(hashes.size(), trace.blocks.size());
+}
+
+TEST(TraceGeneratorTest, DeterministicPerSeed) {
+  Rng a(5);
+  Rng b(5);
+  const Trace ta = generate_trace({}, a);
+  const Trace tb = generate_trace({}, b);
+  ASSERT_EQ(ta.blocks.size(), tb.blocks.size());
+  for (std::size_t i = 0; i < ta.blocks.size(); ++i) {
+    EXPECT_EQ(ta.blocks[i].tx_count, tb.blocks[i].tx_count);
+    EXPECT_EQ(ta.blocks[i].bhash, tb.blocks[i].bhash);
+  }
+}
+
+TEST(TraceGeneratorTest, RejectsDegenerateConfigs) {
+  Rng rng(6);
+  TraceGeneratorConfig zero_blocks;
+  zero_blocks.num_blocks = 0;
+  EXPECT_THROW(generate_trace(zero_blocks, rng), std::invalid_argument);
+  TraceGeneratorConfig too_few_txs;
+  too_few_txs.num_blocks = 100;
+  too_few_txs.target_total_txs = 50;
+  EXPECT_THROW(generate_trace(too_few_txs, rng), std::invalid_argument);
+}
+
+TEST(TraceIoTest, RoundtripPreservesEverything) {
+  Rng rng(7);
+  TraceGeneratorConfig config;
+  config.num_blocks = 50;
+  config.target_total_txs = 50'000;
+  const Trace trace = generate_trace(config, rng);
+  TempDir dir;
+  const auto path = dir.path() / "trace.csv";
+  write_trace_csv(trace, path);
+  const Trace loaded = load_trace_csv(path);
+  ASSERT_EQ(loaded.blocks.size(), trace.blocks.size());
+  for (std::size_t i = 0; i < trace.blocks.size(); ++i) {
+    EXPECT_EQ(loaded.blocks[i].block_id, trace.blocks[i].block_id);
+    EXPECT_EQ(loaded.blocks[i].bhash, trace.blocks[i].bhash);
+    EXPECT_EQ(loaded.blocks[i].tx_count, trace.blocks[i].tx_count);
+    EXPECT_NEAR(loaded.blocks[i].btime, trace.blocks[i].btime, 1.0);
+  }
+}
+
+TEST(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv"), std::runtime_error);
+}
+
+TEST(WorkloadTest, OneBlockModeGivesEachCommitteeOneBlock) {
+  Rng rng(8);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 100;
+  tc.target_total_txs = 100'000;
+  Trace trace = generate_trace(tc, rng);
+  std::set<std::uint64_t> block_sizes;
+  for (const auto& b : trace.blocks) block_sizes.insert(b.tx_count);
+
+  WorkloadConfig wc;
+  wc.num_committees = 30;
+  const WorkloadGenerator gen(std::move(trace), wc);
+  const auto workload = gen.epoch(rng);
+  ASSERT_EQ(workload.reports.size(), 30u);
+  for (const auto& r : workload.reports) {
+    // Every shard's count equals some single block's count.
+    EXPECT_TRUE(block_sizes.count(r.tx_count)) << r.tx_count;
+    EXPECT_GT(r.two_phase_latency(), 0.0);
+  }
+}
+
+TEST(WorkloadTest, DealAllModeConservesTotal) {
+  Rng rng(9);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 200;
+  tc.target_total_txs = 200'000;
+  Trace trace = generate_trace(tc, rng);
+  const std::uint64_t total = trace.total_txs();
+  WorkloadConfig wc;
+  wc.num_committees = 20;
+  wc.fill = ShardFill::kDealAllBlocks;
+  const WorkloadGenerator gen(std::move(trace), wc);
+  const auto workload = gen.epoch(rng);
+  EXPECT_EQ(workload.total_txs(), total);
+  for (const auto& r : workload.reports) EXPECT_GE(r.tx_count, 1u);
+}
+
+TEST(WorkloadTest, LatencyMarginalsMatchPaperModel) {
+  // Formation ~ Exp(600 s); consensus ~ Erlang(3) with mean 54.5 s (§VI-A).
+  Rng rng(10);
+  WorkloadConfig wc;
+  double formation_sum = 0.0;
+  double consensus_sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto lat = sample_two_phase_latency(rng, wc);
+    ASSERT_GE(lat.formation, 0.0);
+    ASSERT_GE(lat.consensus, 0.0);
+    formation_sum += lat.formation;
+    consensus_sum += lat.consensus;
+  }
+  EXPECT_NEAR(formation_sum / n, 600.0, 8.0);
+  EXPECT_NEAR(consensus_sum / n, 54.5, 0.8);
+}
+
+TEST(WorkloadTest, MaxLatencyIsDeadline) {
+  Rng rng(11);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 40;
+  tc.target_total_txs = 40'000;
+  WorkloadConfig wc;
+  wc.num_committees = 10;
+  const WorkloadGenerator gen(generate_trace(tc, rng), wc);
+  const auto workload = gen.epoch(rng);
+  double expect_max = 0.0;
+  for (const auto& r : workload.reports) {
+    expect_max = std::max(expect_max, r.two_phase_latency());
+  }
+  EXPECT_DOUBLE_EQ(workload.max_latency(), expect_max);
+}
+
+TEST(WorkloadWindowTest, WindowsPartitionTheTraceTxs) {
+  Rng rng(20);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 300;
+  tc.target_total_txs = 300'000;
+  Trace trace = generate_trace(tc, rng);
+  const double span = trace.blocks.back().btime - trace.blocks.front().btime;
+  const std::uint64_t total = trace.total_txs();
+
+  WorkloadConfig wc;
+  wc.num_committees = 10;
+  const WorkloadGenerator gen(std::move(trace), wc);
+  // Cover the whole trace with windows; TXs must partition exactly.
+  const double window = span / 5.0 + 1.0;
+  std::uint64_t seen = 0;
+  for (std::size_t e = 0; e < 5; ++e) {
+    const auto workload = gen.epoch_from_window(e, window, rng);
+    ASSERT_EQ(workload.reports.size(), 10u);
+    seen += workload.total_txs();
+  }
+  EXPECT_EQ(seen, total);
+}
+
+TEST(WorkloadWindowTest, QuietWindowYieldsEmptyShards) {
+  Rng rng(21);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 10;
+  tc.target_total_txs = 10'000;
+  WorkloadConfig wc;
+  wc.num_committees = 4;
+  const WorkloadGenerator gen(generate_trace(tc, rng), wc);
+  // A sliver window between two blocks usually catches nothing — counts
+  // can be zero but latencies are still drawn.
+  const auto workload = gen.epoch_from_window(0, 1e-6, rng);
+  for (const auto& r : workload.reports) {
+    EXPECT_GT(r.two_phase_latency(), 0.0);
+  }
+}
+
+TEST(WorkloadWindowTest, WindowBeyondTraceThrows) {
+  Rng rng(22);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 10;
+  tc.target_total_txs = 10'000;
+  WorkloadConfig wc;
+  wc.num_committees = 4;
+  const WorkloadGenerator gen(generate_trace(tc, rng), wc);
+  EXPECT_THROW(gen.epoch_from_window(1000, 600.0, rng), std::out_of_range);
+  EXPECT_THROW(gen.epoch_from_window(0, -5.0, rng), std::invalid_argument);
+}
+
+TEST(WorkloadTest, RejectsMoreCommitteesThanBlocks) {
+  Rng rng(12);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 5;
+  tc.target_total_txs = 5000;
+  WorkloadConfig wc;
+  wc.num_committees = 10;
+  EXPECT_THROW(WorkloadGenerator(generate_trace(tc, rng), wc),
+               std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,207 @@
+// mvcom — command-line driver for the library.
+//
+//   mvcom gen-trace <out.csv> [--blocks N] [--txs N] [--seed S]
+//       Generate a synthetic Bitcoin-like transaction trace (DESIGN.md §3).
+//
+//   mvcom schedule <trace.csv> [--committees N] [--capacity C] [--alpha A]
+//                  [--nmin K] [--gamma G] [--iters N] [--seed S]
+//       Build one epoch's workload from the trace and run the SE scheduler;
+//       prints the permitted committees and the selection's metrics.
+//
+//   mvcom epoch [--nodes N] [--committee-bits B] [--seed S]
+//       Run one full Elastico epoch (PoW election, PBFT committees, final
+//       consensus) and print every committee's two-phase latency.
+//
+//   mvcom bounds [--committees N] [--beta B] [--spread U] [--epsilon E]
+//       Evaluate Theorem 1's mixing-time bounds (natural-log scale).
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/theory.hpp"
+#include "common/rng.hpp"
+#include "mvcom/se_scheduler.hpp"
+#include "sharding/elastico.hpp"
+#include "txn/trace_generator.hpp"
+#include "txn/trace_io.hpp"
+#include "txn/workload.hpp"
+
+namespace {
+
+/// Tiny `--flag value` parser: positionals + a string map.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  [[nodiscard]] std::uint64_t get_u64(const std::string& key,
+                                      std::uint64_t fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stoull(it->second);
+  }
+  [[nodiscard]] double get_f64(const std::string& key,
+                               double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+};
+
+std::optional<Args> parse(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", token.c_str());
+        return std::nullopt;
+      }
+      args.flags[token.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mvcom <gen-trace|schedule|epoch|bounds> [options]\n"
+               "see the header of tools/mvcom_cli.cpp for details\n");
+  return 2;
+}
+
+int cmd_gen_trace(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "gen-trace: output path required\n");
+    return 2;
+  }
+  mvcom::txn::TraceGeneratorConfig config;
+  config.num_blocks = args.get_u64("blocks", config.num_blocks);
+  config.target_total_txs = args.get_u64("txs", config.target_total_txs);
+  mvcom::common::Rng rng(args.get_u64("seed", 2016));
+  const auto trace = mvcom::txn::generate_trace(config, rng);
+  mvcom::txn::write_trace_csv(trace, args.positional[0]);
+  std::printf("wrote %zu blocks / %llu TXs to %s\n", trace.blocks.size(),
+              static_cast<unsigned long long>(trace.total_txs()),
+              args.positional[0].c_str());
+  return 0;
+}
+
+int cmd_schedule(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "schedule: trace path required\n");
+    return 2;
+  }
+  const auto trace = mvcom::txn::load_trace_csv(args.positional[0]);
+  mvcom::txn::WorkloadConfig wc;
+  wc.num_committees = args.get_u64("committees", 50);
+  const mvcom::txn::WorkloadGenerator gen(trace, wc);
+  mvcom::common::Rng rng(args.get_u64("seed", 1));
+  const auto workload = gen.epoch(rng);
+
+  const std::uint64_t capacity =
+      args.get_u64("capacity", 1000 * wc.num_committees);
+  const auto instance = mvcom::core::EpochInstance::from_reports(
+      workload.reports, args.get_f64("alpha", 1.5), capacity,
+      args.get_u64("nmin", 0));
+
+  mvcom::core::SeParams params;
+  params.threads = args.get_u64("gamma", 10);
+  params.max_iterations = args.get_u64("iters", 5000);
+  mvcom::core::SeScheduler scheduler(instance, params,
+                                     args.get_u64("seed", 1));
+  const auto result = scheduler.run();
+  if (!result.feasible) {
+    std::printf("no feasible selection (capacity %llu, N_min %llu)\n",
+                static_cast<unsigned long long>(capacity),
+                static_cast<unsigned long long>(args.get_u64("nmin", 0)));
+    return 1;
+  }
+  std::printf("converged after %zu iterations\n", result.iterations);
+  std::printf("utility %.1f, valuable degree %.2f\n", result.utility,
+              result.valuable_degree);
+  std::printf("permitted %llu TXs of capacity %llu using committees:",
+              static_cast<unsigned long long>(
+                  instance.permitted_txs(result.best)),
+              static_cast<unsigned long long>(capacity));
+  for (std::size_t i = 0; i < result.best.size(); ++i) {
+    if (result.best[i]) {
+      std::printf(" %u", instance.committees()[i].id);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_epoch(const Args& args) {
+  mvcom::sharding::ElasticoConfig config;
+  config.num_nodes = args.get_u64("nodes", 256);
+  config.committee_bits =
+      static_cast<int>(args.get_u64("committee-bits", 4));
+  config.committee_size = args.get_u64("committee-size", 8);
+  mvcom::sharding::ElasticoNetwork network(
+      config, mvcom::common::Rng(args.get_u64("seed", 1)));
+
+  mvcom::common::Rng trace_rng(args.get_u64("seed", 1) + 1);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = std::max<std::uint64_t>(64, network.num_member_committees());
+  tc.target_total_txs = tc.num_blocks * 1000;
+  const auto trace = mvcom::txn::generate_trace(tc, trace_rng);
+
+  const auto outcome = network.run_epoch(trace);
+  for (const auto& c : outcome.committees) {
+    std::printf("committee %2u: formation %8.1fs consensus %7.1fs txs %6llu %s\n",
+                c.committee_id, c.formation_latency.seconds(),
+                c.consensus_latency.seconds(),
+                static_cast<unsigned long long>(c.tx_count),
+                c.committed ? "committed" : "FAILED");
+  }
+  std::printf("final block: %zu shards, %llu TXs, makespan %.1fs; "
+              "root chain height %llu (valid=%s)\n",
+              outcome.selected.size(),
+              static_cast<unsigned long long>(outcome.final_block_txs),
+              outcome.epoch_makespan.seconds(),
+              static_cast<unsigned long long>(network.root_chain().height()),
+              network.root_chain().validate_full() ? "yes" : "NO");
+  return 0;
+}
+
+int cmd_bounds(const Args& args) {
+  const auto committees = args.get_u64("committees", 500);
+  const double beta = args.get_f64("beta", 2.0);
+  const double spread = args.get_f64("spread", 100.0);
+  const double epsilon = args.get_f64("epsilon", 0.01);
+  const auto bounds = mvcom::analysis::mixing_time_bounds(
+      committees, beta, 0.0, spread, epsilon);
+  std::printf("Theorem 1 mixing-time bounds for |I|=%llu, beta=%.2f, "
+              "Umax-Umin=%.1f, eps=%.3f:\n",
+              static_cast<unsigned long long>(committees), beta, spread,
+              epsilon);
+  std::printf("  ln(lower) = %.2f\n  ln(upper) = %.2f\n", bounds.log_lower,
+              bounds.log_upper);
+  std::printf("  optimality loss (1/beta)·log|F| = %.1f\n",
+              mvcom::analysis::log_sum_exp_optimality_loss(committees, beta));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto args = parse(argc, argv, 2);
+  if (!args) return 2;
+  try {
+    if (command == "gen-trace") return cmd_gen_trace(*args);
+    if (command == "schedule") return cmd_schedule(*args);
+    if (command == "epoch") return cmd_epoch(*args);
+    if (command == "bounds") return cmd_bounds(*args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mvcom %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  return usage();
+}

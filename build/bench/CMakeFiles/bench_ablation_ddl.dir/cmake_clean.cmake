@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ddl.dir/bench_ablation_ddl.cpp.o"
+  "CMakeFiles/bench_ablation_ddl.dir/bench_ablation_ddl.cpp.o.d"
+  "bench_ablation_ddl"
+  "bench_ablation_ddl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ddl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_epoch_acceleration.dir/bench_epoch_acceleration.cpp.o"
+  "CMakeFiles/bench_epoch_acceleration.dir/bench_epoch_acceleration.cpp.o.d"
+  "bench_epoch_acceleration"
+  "bench_epoch_acceleration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_epoch_acceleration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_vary_committees.dir/bench_fig11_vary_committees.cpp.o"
+  "CMakeFiles/bench_fig11_vary_committees.dir/bench_fig11_vary_committees.cpp.o.d"
+  "bench_fig11_vary_committees"
+  "bench_fig11_vary_committees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_vary_committees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

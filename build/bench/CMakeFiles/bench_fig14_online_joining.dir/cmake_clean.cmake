@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_online_joining.dir/bench_fig14_online_joining.cpp.o"
+  "CMakeFiles/bench_fig14_online_joining.dir/bench_fig14_online_joining.cpp.o.d"
+  "bench_fig14_online_joining"
+  "bench_fig14_online_joining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_online_joining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multi_epoch_throughput.dir/bench_multi_epoch_throughput.cpp.o"
+  "CMakeFiles/bench_multi_epoch_throughput.dir/bench_multi_epoch_throughput.cpp.o.d"
+  "bench_multi_epoch_throughput"
+  "bench_multi_epoch_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_epoch_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_util.cpp" "bench/CMakeFiles/mvcom_benchutil.dir/bench_util.cpp.o" "gcc" "bench/CMakeFiles/mvcom_benchutil.dir/bench_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mvcom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mvcom_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvcom/CMakeFiles/mvcom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvcom_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_benchutil.dir/bench_util.cpp.o"
+  "CMakeFiles/mvcom_benchutil.dir/bench_util.cpp.o.d"
+  "libmvcom_benchutil.a"
+  "libmvcom_benchutil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_benchutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

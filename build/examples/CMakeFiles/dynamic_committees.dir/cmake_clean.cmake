@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_committees.dir/dynamic_committees.cpp.o"
+  "CMakeFiles/dynamic_committees.dir/dynamic_committees.cpp.o.d"
+  "dynamic_committees"
+  "dynamic_committees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_committees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastico_epoch.dir/elastico_epoch.cpp.o"
+  "CMakeFiles/elastico_epoch.dir/elastico_epoch.cpp.o.d"
+  "elastico_epoch"
+  "elastico_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastico_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

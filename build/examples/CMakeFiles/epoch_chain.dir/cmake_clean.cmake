@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epoch_chain.dir/epoch_chain.cpp.o"
+  "CMakeFiles/epoch_chain.dir/epoch_chain.cpp.o.d"
+  "epoch_chain"
+  "epoch_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epoch_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_scheduler.dir/online_scheduler.cpp.o"
+  "CMakeFiles/online_scheduler.dir/online_scheduler.cpp.o.d"
+  "online_scheduler"
+  "online_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_analysis.dir/convergence.cpp.o"
+  "CMakeFiles/mvcom_analysis.dir/convergence.cpp.o.d"
+  "CMakeFiles/mvcom_analysis.dir/markov.cpp.o"
+  "CMakeFiles/mvcom_analysis.dir/markov.cpp.o.d"
+  "CMakeFiles/mvcom_analysis.dir/spectral.cpp.o"
+  "CMakeFiles/mvcom_analysis.dir/spectral.cpp.o.d"
+  "CMakeFiles/mvcom_analysis.dir/theory.cpp.o"
+  "CMakeFiles/mvcom_analysis.dir/theory.cpp.o.d"
+  "libmvcom_analysis.a"
+  "libmvcom_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

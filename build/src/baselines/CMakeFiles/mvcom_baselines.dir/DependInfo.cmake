@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dynamic_programming.cpp" "src/baselines/CMakeFiles/mvcom_baselines.dir/dynamic_programming.cpp.o" "gcc" "src/baselines/CMakeFiles/mvcom_baselines.dir/dynamic_programming.cpp.o.d"
+  "/root/repo/src/baselines/exhaustive.cpp" "src/baselines/CMakeFiles/mvcom_baselines.dir/exhaustive.cpp.o" "gcc" "src/baselines/CMakeFiles/mvcom_baselines.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/baselines/greedy.cpp" "src/baselines/CMakeFiles/mvcom_baselines.dir/greedy.cpp.o" "gcc" "src/baselines/CMakeFiles/mvcom_baselines.dir/greedy.cpp.o.d"
+  "/root/repo/src/baselines/random_select.cpp" "src/baselines/CMakeFiles/mvcom_baselines.dir/random_select.cpp.o" "gcc" "src/baselines/CMakeFiles/mvcom_baselines.dir/random_select.cpp.o.d"
+  "/root/repo/src/baselines/simulated_annealing.cpp" "src/baselines/CMakeFiles/mvcom_baselines.dir/simulated_annealing.cpp.o" "gcc" "src/baselines/CMakeFiles/mvcom_baselines.dir/simulated_annealing.cpp.o.d"
+  "/root/repo/src/baselines/solver.cpp" "src/baselines/CMakeFiles/mvcom_baselines.dir/solver.cpp.o" "gcc" "src/baselines/CMakeFiles/mvcom_baselines.dir/solver.cpp.o.d"
+  "/root/repo/src/baselines/whale_optimization.cpp" "src/baselines/CMakeFiles/mvcom_baselines.dir/whale_optimization.cpp.o" "gcc" "src/baselines/CMakeFiles/mvcom_baselines.dir/whale_optimization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mvcom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvcom/CMakeFiles/mvcom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mvcom_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvcom_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

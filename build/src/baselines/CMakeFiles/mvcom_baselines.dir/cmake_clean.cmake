@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_baselines.dir/dynamic_programming.cpp.o"
+  "CMakeFiles/mvcom_baselines.dir/dynamic_programming.cpp.o.d"
+  "CMakeFiles/mvcom_baselines.dir/exhaustive.cpp.o"
+  "CMakeFiles/mvcom_baselines.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/mvcom_baselines.dir/greedy.cpp.o"
+  "CMakeFiles/mvcom_baselines.dir/greedy.cpp.o.d"
+  "CMakeFiles/mvcom_baselines.dir/random_select.cpp.o"
+  "CMakeFiles/mvcom_baselines.dir/random_select.cpp.o.d"
+  "CMakeFiles/mvcom_baselines.dir/simulated_annealing.cpp.o"
+  "CMakeFiles/mvcom_baselines.dir/simulated_annealing.cpp.o.d"
+  "CMakeFiles/mvcom_baselines.dir/solver.cpp.o"
+  "CMakeFiles/mvcom_baselines.dir/solver.cpp.o.d"
+  "CMakeFiles/mvcom_baselines.dir/whale_optimization.cpp.o"
+  "CMakeFiles/mvcom_baselines.dir/whale_optimization.cpp.o.d"
+  "libmvcom_baselines.a"
+  "libmvcom_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

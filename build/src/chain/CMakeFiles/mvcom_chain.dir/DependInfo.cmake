@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block.cpp" "src/chain/CMakeFiles/mvcom_chain.dir/block.cpp.o" "gcc" "src/chain/CMakeFiles/mvcom_chain.dir/block.cpp.o.d"
+  "/root/repo/src/chain/root_chain.cpp" "src/chain/CMakeFiles/mvcom_chain.dir/root_chain.cpp.o" "gcc" "src/chain/CMakeFiles/mvcom_chain.dir/root_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/mvcom_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mvcom_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

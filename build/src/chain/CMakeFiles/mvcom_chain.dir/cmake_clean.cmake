@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_chain.dir/block.cpp.o"
+  "CMakeFiles/mvcom_chain.dir/block.cpp.o.d"
+  "CMakeFiles/mvcom_chain.dir/root_chain.cpp.o"
+  "CMakeFiles/mvcom_chain.dir/root_chain.cpp.o.d"
+  "libmvcom_chain.a"
+  "libmvcom_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_common.dir/csv.cpp.o"
+  "CMakeFiles/mvcom_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mvcom_common.dir/rng.cpp.o"
+  "CMakeFiles/mvcom_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mvcom_common.dir/stats.cpp.o"
+  "CMakeFiles/mvcom_common.dir/stats.cpp.o.d"
+  "libmvcom_common.a"
+  "libmvcom_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_consensus.dir/pbft.cpp.o"
+  "CMakeFiles/mvcom_consensus.dir/pbft.cpp.o.d"
+  "libmvcom_consensus.a"
+  "libmvcom_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/mvcom_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/mvcom_crypto.dir/pow.cpp.o"
+  "CMakeFiles/mvcom_crypto.dir/pow.cpp.o.d"
+  "CMakeFiles/mvcom_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/mvcom_crypto.dir/sha256.cpp.o.d"
+  "libmvcom_crypto.a"
+  "libmvcom_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

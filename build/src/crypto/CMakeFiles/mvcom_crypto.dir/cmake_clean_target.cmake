@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmvcom_crypto.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mvcom/ddl_policy.cpp" "src/mvcom/CMakeFiles/mvcom_core.dir/ddl_policy.cpp.o" "gcc" "src/mvcom/CMakeFiles/mvcom_core.dir/ddl_policy.cpp.o.d"
+  "/root/repo/src/mvcom/dynamics.cpp" "src/mvcom/CMakeFiles/mvcom_core.dir/dynamics.cpp.o" "gcc" "src/mvcom/CMakeFiles/mvcom_core.dir/dynamics.cpp.o.d"
+  "/root/repo/src/mvcom/online.cpp" "src/mvcom/CMakeFiles/mvcom_core.dir/online.cpp.o" "gcc" "src/mvcom/CMakeFiles/mvcom_core.dir/online.cpp.o.d"
+  "/root/repo/src/mvcom/problem.cpp" "src/mvcom/CMakeFiles/mvcom_core.dir/problem.cpp.o" "gcc" "src/mvcom/CMakeFiles/mvcom_core.dir/problem.cpp.o.d"
+  "/root/repo/src/mvcom/se_scheduler.cpp" "src/mvcom/CMakeFiles/mvcom_core.dir/se_scheduler.cpp.o" "gcc" "src/mvcom/CMakeFiles/mvcom_core.dir/se_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mvcom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mvcom_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvcom_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_core.dir/ddl_policy.cpp.o"
+  "CMakeFiles/mvcom_core.dir/ddl_policy.cpp.o.d"
+  "CMakeFiles/mvcom_core.dir/dynamics.cpp.o"
+  "CMakeFiles/mvcom_core.dir/dynamics.cpp.o.d"
+  "CMakeFiles/mvcom_core.dir/online.cpp.o"
+  "CMakeFiles/mvcom_core.dir/online.cpp.o.d"
+  "CMakeFiles/mvcom_core.dir/problem.cpp.o"
+  "CMakeFiles/mvcom_core.dir/problem.cpp.o.d"
+  "CMakeFiles/mvcom_core.dir/se_scheduler.cpp.o"
+  "CMakeFiles/mvcom_core.dir/se_scheduler.cpp.o.d"
+  "libmvcom_core.a"
+  "libmvcom_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

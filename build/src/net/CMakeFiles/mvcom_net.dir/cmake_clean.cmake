@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_net.dir/network.cpp.o"
+  "CMakeFiles/mvcom_net.dir/network.cpp.o.d"
+  "libmvcom_net.a"
+  "libmvcom_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

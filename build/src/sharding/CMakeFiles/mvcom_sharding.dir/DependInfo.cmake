@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sharding/elastico.cpp" "src/sharding/CMakeFiles/mvcom_sharding.dir/elastico.cpp.o" "gcc" "src/sharding/CMakeFiles/mvcom_sharding.dir/elastico.cpp.o.d"
+  "/root/repo/src/sharding/overlay.cpp" "src/sharding/CMakeFiles/mvcom_sharding.dir/overlay.cpp.o" "gcc" "src/sharding/CMakeFiles/mvcom_sharding.dir/overlay.cpp.o.d"
+  "/root/repo/src/sharding/randomness.cpp" "src/sharding/CMakeFiles/mvcom_sharding.dir/randomness.cpp.o" "gcc" "src/sharding/CMakeFiles/mvcom_sharding.dir/randomness.cpp.o.d"
+  "/root/repo/src/sharding/verification.cpp" "src/sharding/CMakeFiles/mvcom_sharding.dir/verification.cpp.o" "gcc" "src/sharding/CMakeFiles/mvcom_sharding.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mvcom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvcom_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/mvcom_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvcom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvcom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/mvcom_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mvcom_txn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

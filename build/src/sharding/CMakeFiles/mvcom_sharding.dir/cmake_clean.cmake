@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_sharding.dir/elastico.cpp.o"
+  "CMakeFiles/mvcom_sharding.dir/elastico.cpp.o.d"
+  "CMakeFiles/mvcom_sharding.dir/overlay.cpp.o"
+  "CMakeFiles/mvcom_sharding.dir/overlay.cpp.o.d"
+  "CMakeFiles/mvcom_sharding.dir/randomness.cpp.o"
+  "CMakeFiles/mvcom_sharding.dir/randomness.cpp.o.d"
+  "CMakeFiles/mvcom_sharding.dir/verification.cpp.o"
+  "CMakeFiles/mvcom_sharding.dir/verification.cpp.o.d"
+  "libmvcom_sharding.a"
+  "libmvcom_sharding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_sharding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mvcom_sim.dir/simulator.cpp.o.d"
+  "libmvcom_sim.a"
+  "libmvcom_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/age.cpp" "src/txn/CMakeFiles/mvcom_txn.dir/age.cpp.o" "gcc" "src/txn/CMakeFiles/mvcom_txn.dir/age.cpp.o.d"
+  "/root/repo/src/txn/trace_generator.cpp" "src/txn/CMakeFiles/mvcom_txn.dir/trace_generator.cpp.o" "gcc" "src/txn/CMakeFiles/mvcom_txn.dir/trace_generator.cpp.o.d"
+  "/root/repo/src/txn/trace_io.cpp" "src/txn/CMakeFiles/mvcom_txn.dir/trace_io.cpp.o" "gcc" "src/txn/CMakeFiles/mvcom_txn.dir/trace_io.cpp.o.d"
+  "/root/repo/src/txn/workload.cpp" "src/txn/CMakeFiles/mvcom_txn.dir/workload.cpp.o" "gcc" "src/txn/CMakeFiles/mvcom_txn.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mvcom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvcom_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

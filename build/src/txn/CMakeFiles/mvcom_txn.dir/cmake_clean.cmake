@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom_txn.dir/age.cpp.o"
+  "CMakeFiles/mvcom_txn.dir/age.cpp.o.d"
+  "CMakeFiles/mvcom_txn.dir/trace_generator.cpp.o"
+  "CMakeFiles/mvcom_txn.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/mvcom_txn.dir/trace_io.cpp.o"
+  "CMakeFiles/mvcom_txn.dir/trace_io.cpp.o.d"
+  "CMakeFiles/mvcom_txn.dir/workload.cpp.o"
+  "CMakeFiles/mvcom_txn.dir/workload.cpp.o.d"
+  "libmvcom_txn.a"
+  "libmvcom_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_age.dir/test_age.cpp.o"
+  "CMakeFiles/test_age.dir/test_age.cpp.o.d"
+  "test_age"
+  "test_age.pdb"
+  "test_age[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_age.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

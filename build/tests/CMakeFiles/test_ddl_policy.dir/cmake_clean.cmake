@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddl_policy.dir/test_ddl_policy.cpp.o"
+  "CMakeFiles/test_ddl_policy.dir/test_ddl_policy.cpp.o.d"
+  "test_ddl_policy"
+  "test_ddl_policy.pdb"
+  "test_ddl_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddl_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_elastico.dir/test_elastico.cpp.o"
+  "CMakeFiles/test_elastico.dir/test_elastico.cpp.o.d"
+  "test_elastico"
+  "test_elastico.pdb"
+  "test_elastico[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_elastico.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

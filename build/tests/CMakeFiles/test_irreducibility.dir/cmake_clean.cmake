@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_irreducibility.dir/test_irreducibility.cpp.o"
+  "CMakeFiles/test_irreducibility.dir/test_irreducibility.cpp.o.d"
+  "test_irreducibility"
+  "test_irreducibility.pdb"
+  "test_irreducibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_irreducibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbft.dir/test_pbft.cpp.o"
+  "CMakeFiles/test_pbft.dir/test_pbft.cpp.o.d"
+  "test_pbft"
+  "test_pbft.pdb"
+  "test_pbft[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pbft_adversarial.cpp" "tests/CMakeFiles/test_pbft_adversarial.dir/test_pbft_adversarial.cpp.o" "gcc" "tests/CMakeFiles/test_pbft_adversarial.dir/test_pbft_adversarial.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mvcom_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/mvcom_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/mvcom_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mvcom_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mvcom_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/mvcom_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/consensus/CMakeFiles/mvcom_consensus.dir/DependInfo.cmake"
+  "/root/repo/build/src/sharding/CMakeFiles/mvcom_sharding.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvcom/CMakeFiles/mvcom_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mvcom_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mvcom_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

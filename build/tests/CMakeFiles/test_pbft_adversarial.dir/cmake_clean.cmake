@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbft_adversarial.dir/test_pbft_adversarial.cpp.o"
+  "CMakeFiles/test_pbft_adversarial.dir/test_pbft_adversarial.cpp.o.d"
+  "test_pbft_adversarial"
+  "test_pbft_adversarial.pdb"
+  "test_pbft_adversarial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbft_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

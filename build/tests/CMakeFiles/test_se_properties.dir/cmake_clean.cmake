@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_se_properties.dir/test_se_properties.cpp.o"
+  "CMakeFiles/test_se_properties.dir/test_se_properties.cpp.o.d"
+  "test_se_properties"
+  "test_se_properties.pdb"
+  "test_se_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_se_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

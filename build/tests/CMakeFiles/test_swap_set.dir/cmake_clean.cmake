@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_swap_set.dir/test_swap_set.cpp.o"
+  "CMakeFiles/test_swap_set.dir/test_swap_set.cpp.o.d"
+  "test_swap_set"
+  "test_swap_set.pdb"
+  "test_swap_set[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_swap_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

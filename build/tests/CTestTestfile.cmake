@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_pbft[1]_include.cmake")
+include("/root/repo/build/tests/test_elastico[1]_include.cmake")
+include("/root/repo/build/tests/test_problem[1]_include.cmake")
+include("/root/repo/build/tests/test_swap_set[1]_include.cmake")
+include("/root/repo/build/tests/test_se_scheduler[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamics[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_theory[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_ddl_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_age[1]_include.cmake")
+include("/root/repo/build/tests/test_overlay[1]_include.cmake")
+include("/root/repo/build/tests/test_convergence[1]_include.cmake")
+include("/root/repo/build/tests/test_pbft_adversarial[1]_include.cmake")
+include("/root/repo/build/tests/test_se_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_online[1]_include.cmake")
+include("/root/repo/build/tests/test_chain[1]_include.cmake")
+include("/root/repo/build/tests/test_irreducibility[1]_include.cmake")
+include("/root/repo/build/tests/test_spectral[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mvcom.dir/mvcom_cli.cpp.o"
+  "CMakeFiles/mvcom.dir/mvcom_cli.cpp.o.d"
+  "mvcom"
+  "mvcom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mvcom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -49,6 +49,33 @@ void BM_SeStep(benchmark::State& state) {
 }
 BENCHMARK(BM_SeStep)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
 
+// Wall-clock cost of one barrier-to-barrier block of Γ explorers (|I|=200,
+// 100 iterations per block — the default share_interval granularity), with
+// the Γ chains advanced serially vs on the worker pool. Items = explorer
+// iterations, so items/s is directly comparable across rows: on a host with
+// ≥ Γ cores the parallel rows approach Γ× the serial Γ=1 rate.
+void BM_SeAdvanceBlock(benchmark::State& state) {
+  const auto instance = make_instance(200);
+  mvcom::core::SeParams params;
+  params.threads = static_cast<std::size_t>(state.range(0));
+  params.parallel_execution = state.range(1) != 0;
+  mvcom::core::SeScheduler scheduler(instance, params, 3);
+  constexpr std::size_t kBlock = 100;
+  for (auto _ : state) {
+    scheduler.advance(kBlock);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBlock) * state.range(0));
+}
+BENCHMARK(BM_SeAdvanceBlock)
+    ->ArgNames({"gamma", "parallel"})
+    ->Args({1, 0})
+    ->Args({5, 0})
+    ->Args({5, 1})
+    ->Args({10, 0})
+    ->Args({10, 1})
+    ->UseRealTime();
+
 void BM_SwapSetSwap(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   mvcom::core::Selection x(n, 0);

@@ -1,0 +1,98 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace mvcom::common {
+
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t size = 0;
+  std::atomic<std::size_t> next{0};       // claim cursor
+  std::atomic<std::size_t> completed{0};  // finished-task count
+  std::once_flag error_once;
+  std::exception_ptr error;  // first exception thrown by any body call
+};
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::drain(Batch& batch) {
+  for (;;) {
+    const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch.size) return;
+    try {
+      (*batch.body)(i);
+    } catch (...) {
+      std::call_once(batch.error_once,
+                     [&batch] { batch.error = std::current_exception(); });
+    }
+    // Release so the submitter's acquire load of `completed` also sees any
+    // captured error before rethrowing.
+    batch.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+      batch = current_;  // shared_ptr copy keeps the batch alive past reset
+    }
+    if (!batch) continue;  // woke after the submitter already retired it
+    drain(*batch);
+    if (batch->completed.load(std::memory_order_acquire) == batch->size) {
+      // Lock before notifying so the submitter cannot miss the wakeup
+      // between its predicate check and its wait.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->size = n;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    current_ = batch;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  drain(*batch);  // the submitting thread participates in the batch
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) == batch->size;
+    });
+    current_.reset();
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+}  // namespace mvcom::common

@@ -1,0 +1,68 @@
+#pragma once
+// A small fixed-size worker pool for barrier-style data parallelism — the
+// execution substrate behind the SE scheduler's Γ "distributed parallel
+// execution threads" (paper §IV-D) and any other fork/join hot path.
+//
+// Design:
+//  * N workers are spawned once at construction and live for the pool's
+//    lifetime — no per-batch thread spawn on the hot path.
+//  * parallel_for(n, body) submits one batch of n index-tasks. Workers and
+//    the CALLING thread claim indices from a shared atomic cursor, so the
+//    caller is never idle while work remains, and a pool with zero workers
+//    degenerates to an inline loop (handy for single-core hosts and for
+//    keeping a single code path in callers).
+//  * The call is a barrier: it returns only after every index has executed.
+//  * Exceptions thrown by the body are captured; the first one is rethrown
+//    from parallel_for after the barrier.
+//
+// The pool supports one batch at a time from one submitting thread; nested
+// or concurrent parallel_for calls are not supported (the SE scheduler only
+// ever submits between cooperation barriers, so this is not a limitation
+// there).
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mvcom::common {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads. Zero is valid: every batch then runs inline
+  /// on the submitting thread.
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t workers() const noexcept {
+    return threads_.size();
+  }
+
+  /// Runs body(0), …, body(n−1) across the workers plus the calling thread
+  /// and returns once all n calls have completed (barrier-style wait).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Batch;
+
+  void worker_loop();
+  static void drain(Batch& batch);
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // signals workers: new batch / shutdown
+  std::condition_variable done_;   // signals the submitter: batch complete
+  std::shared_ptr<Batch> current_;  // published under mutex_
+  std::uint64_t epoch_ = 0;         // bumped per batch; workers wait on it
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mvcom::common

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace mvcom::core {
@@ -22,9 +23,23 @@ OnlineCommitteeScheduler::OnlineCommitteeScheduler(
         "OnlineCommitteeScheduler: fractions in [0,1]");
   }
   const auto expected = static_cast<double>(config_.expected_committees);
-  n_min_ = static_cast<std::size_t>(config_.n_min_fraction * expected);
+  // Eq. (3) demands Σ x_i ≥ N_min with N_min a fraction of |I|; a selection
+  // cannot include half a committee, so the fractional target rounds UP:
+  // N_min = ⌈fraction·|I|⌉. (Truncating instead would let e.g. 0.5 of 5
+  // expected committees pass with only 2 permitted — below the 50% floor the
+  // paper's §VI-A parameterization intends.)
+  n_min_ = static_cast<std::size_t>(std::ceil(config_.n_min_fraction * expected));
   n_max_count_ = std::max<std::size_t>(
       1, static_cast<std::size_t>(std::ceil(config_.n_max_fraction * expected)));
+  // Bootstrap (Alg. 1 line 1) requires strictly more than N_min arrivals,
+  // and listening stops for good once N_max arrive (line 29) — so N_min must
+  // fall strictly below the N_max cutoff or try_bootstrap is unreachable
+  // (e.g. n_min_fraction = 1.0 could otherwise never start exploring).
+  if (n_min_ >= n_max_count_) {
+    throw std::invalid_argument(
+        "OnlineCommitteeScheduler: ceil(n_min_fraction*expected) must be < "
+        "the N_max listening cutoff, or bootstrap can never trigger");
+  }
 }
 
 EpochInstance OnlineCommitteeScheduler::build_instance() const {
@@ -49,6 +64,14 @@ bool OnlineCommitteeScheduler::on_report(const txn::ShardReport& report) {
         return r.committee_id == report.committee_id;
       });
   if (duplicate) return false;
+  // Refuse a report whose claimed shard size would wrap the 64-bit Σ s
+  // bookkeeping (EpochInstance construction rejects such sets outright; an
+  // adversarial committee must not be able to crash the listening loop).
+  std::uint64_t total = 0;
+  for (const txn::ShardReport& r : reports_) total += r.tx_count;  // exact
+  if (report.tx_count > std::numeric_limits<std::uint64_t>::max() - total) {
+    return false;
+  }
   reports_.push_back(report);
   if (scheduler_) {
     scheduler_->add_committee(
@@ -92,7 +115,10 @@ bool OnlineCommitteeScheduler::on_recovery(const txn::ShardReport& report) {
 
 void OnlineCommitteeScheduler::explore(std::size_t iterations) {
   if (!scheduler_) return;
-  for (std::size_t i = 0; i < iterations; ++i) scheduler_->step();
+  // Bulk advance: in parallel mode this fans each barrier-to-barrier block
+  // out across the SE scheduler's worker pool instead of paying one
+  // dispatch + barrier per iteration.
+  scheduler_->advance(iterations);
 }
 
 SchedulingDecision OnlineCommitteeScheduler::decide() const {

@@ -28,7 +28,12 @@ struct OnlineSchedulerConfig {
   double alpha = 1.5;
   std::uint64_t capacity = 0;     // Ĉ — required, > 0
   /// Number of member committees in the epoch; N_min/N_max fractions apply
-  /// to this count (paper §VI-A: N_min = 50%·|I|, N_max = 80%).
+  /// to this count (paper §VI-A: N_min = 50%·|I|, N_max = 80%). Both round
+  /// UP: N_min = ⌈n_min_fraction·expected⌉ (Eq. (3) is a lower bound on a
+  /// committee count, so fractional targets cannot truncate down), and the
+  /// pair must satisfy N_min < ⌈n_max_fraction·expected⌉ — bootstrap needs
+  /// strictly more than N_min arrivals before listening stops at N_max
+  /// (validated at construction).
   std::size_t expected_committees = 0;
   double n_min_fraction = 0.5;
   double n_max_fraction = 0.8;

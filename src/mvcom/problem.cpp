@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 namespace mvcom::core {
@@ -19,6 +20,18 @@ EpochInstance::EpochInstance(std::vector<Committee> committees, double alpha,
   }
   if (alpha_ <= 0.0) {
     throw std::invalid_argument("EpochInstance: alpha must be positive");
+  }
+  // Reject adversarial shard sizes whose total would wrap std::uint64_t:
+  // downstream bookkeeping (smallest-prefix feasibility tests, incremental
+  // Σ s maintenance in the SE solvers, scheduling_worthwhile) sums subsets
+  // unchecked and a wrapped total could mark infeasible cardinalities
+  // active.
+  for (const Committee& c : committees_) {
+    if (c.txs > std::numeric_limits<std::uint64_t>::max() - total_txs_) {
+      throw std::invalid_argument(
+          "EpochInstance: total shard size overflows 64-bit accounting");
+    }
+    total_txs_ += c.txs;
   }
   if (deadline_ < 0.0) {
     // t_j = max_{i∈I_j} l_i (paper §III-A).
@@ -93,9 +106,9 @@ double EpochInstance::cumulative_age(const Selection& x) const {
 }
 
 bool EpochInstance::scheduling_worthwhile() const {
-  std::uint64_t total = 0;
-  for (const Committee& c : committees_) total += c.txs;
-  return committees_.size() > n_min_ && total > capacity_;
+  // total_txs_ is overflow-checked at construction, so the comparison with
+  // the capacity cannot be fooled by a wrapped sum.
+  return committees_.size() > n_min_ && total_txs_ > capacity_;
 }
 
 }  // namespace mvcom::core

@@ -98,6 +98,12 @@ class EpochInstance {
   /// Total TXs permitted — the throughput component of the objective.
   [[nodiscard]] std::uint64_t permitted_txs(const Selection& x) const;
 
+  /// Σ s_i over ALL committees. Guaranteed not to have wrapped: construction
+  /// rejects committee sets whose total exceeds 2^64−1, so every subset sum
+  /// computed anywhere downstream (prefix sums, incremental swap
+  /// bookkeeping) is exact.
+  [[nodiscard]] std::uint64_t total_txs() const noexcept { return total_txs_; }
+
   /// Cumulative age Σ Π_i over permitted shards.
   [[nodiscard]] double cumulative_age(const Selection& x) const;
 
@@ -111,6 +117,7 @@ class EpochInstance {
   std::uint64_t capacity_;
   std::size_t n_min_;
   double deadline_;
+  std::uint64_t total_txs_ = 0;
 };
 
 }  // namespace mvcom::core

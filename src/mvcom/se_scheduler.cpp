@@ -7,6 +7,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+
 namespace mvcom::core {
 namespace {
 
@@ -15,7 +17,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 /// Prefix sums of the sorted (ascending) shard sizes: smallest_prefix[n] is
 /// the minimum possible Σ s over any n-subset, so cardinality n admits a
-/// capacity-feasible subset iff smallest_prefix[n] <= Ĉ.
+/// capacity-feasible subset iff smallest_prefix[n] <= Ĉ. The accumulation is
+/// exact: EpochInstance construction rejects committee sets whose total Σ s
+/// would wrap std::uint64_t, and every prefix is bounded by that total.
 std::vector<std::uint64_t> smallest_prefix_sums(const EpochInstance& inst) {
   std::vector<std::uint64_t> sizes;
   sizes.reserve(inst.size());
@@ -111,6 +115,25 @@ void SeExplorer::step() {
   }
 }
 
+void SeExplorer::step_block(std::size_t k, SeBlockStats* stats,
+                            double* running_max) {
+  if (stats) {
+    stats->trace.clear();
+    stats->snapshots.clear();
+  }
+  for (std::size_t t = 0; t < k; ++t) {
+    step();
+    if (!stats) continue;
+    const auto b = best();
+    const double u = b ? b->first : kNaN;
+    stats->trace.push_back(u);
+    if (b && running_max && u > *running_max) {
+      *running_max = u;
+      stats->snapshots.push_back({t, u, b->second->to_selection()});
+    }
+  }
+}
+
 void SeExplorer::step_chain_parallel() {
   // One Metropolis transition per solution. The per-cardinality chains are
   // independent, and the acceptance ratio min(1, exp(β·ΔU)) equals the
@@ -186,10 +209,12 @@ void SeExplorer::step_timer_race() {
     if (!ok) continue;
 
     const double delta = gain_[in] - gain_[out];
-    // log T = τ − ½β(U_{f'} − U_f) − ln(|I| − n) + ln(Exp(1) draw),
-    // with ln(Exp(1)) = ln(−ln(1 − u)).
+    // log T = τ − ½β(U_{f'} − U_f) − ln(|I| − n) + ln(Exp(1) draw). The
+    // Exp(1) draw goes through detail::log_unit_exponential, which clamps
+    // the uniform into (0,1): a raw u == 0 would yield log T = −∞ and win
+    // the race regardless of β·ΔU.
     const double log_timer = tau - 0.5 * beta * delta - log_remaining_[idx] +
-                             std::log(-std::log1p(-rng_.uniform01()));
+                             detail::log_unit_exponential(rng_.uniform01());
     if (log_timer < winner.log_timer) {
       winner = {idx, out, in, delta, new_txs, log_timer};
     }
@@ -271,12 +296,13 @@ void SeExplorer::adopt_if_better(const SwapSet& incumbent, double utility) {
 
 void SeExplorer::rebind(const EpochInstance* instance,
                         std::optional<std::uint32_t> removed_index) {
-  const EpochInstance* old_instance = instance_;
+  // NB: `instance` may be the same object the explorer was already bound to
+  // (SeScheduler mutates its member in place before rebinding), so the old
+  // universe size must come from the surviving bitmaps, not from a pointer.
   instance_ = instance;
   smallest_prefix_ = smallest_prefix_sums(*instance_);
   refresh_caches();
   const std::size_t new_total = instance_->size();
-  const std::size_t old_total = old_instance->size();
 
   std::vector<SolutionState> fresh(new_total);
   const std::size_t carried = std::min(solutions_.size(), new_total);
@@ -298,7 +324,7 @@ void SeExplorer::rebind(const EpochInstance* instance,
     Selection x(new_total, 0);
     const Selection old_x = old_sol.set.to_selection();
     std::size_t w = 0;
-    for (std::size_t r = 0; r < old_total; ++r) {
+    for (std::size_t r = 0; r < old_x.size(); ++r) {
       if (removed_index && r == *removed_index) continue;
       if (w < new_total) x[w] = old_x[r];
       ++w;
@@ -335,29 +361,68 @@ SeScheduler::SeScheduler(EpochInstance instance, SeParams params,
   for (std::size_t t = 0; t < params_.threads; ++t) {
     explorers_.emplace_back(&instance_, &params_, root.fork());
   }
+  if (params_.parallel_execution && params_.threads > 1) {
+    // Γ−1 workers: the calling thread participates in every batch, so Γ
+    // execution contexts advance the Γ explorers with no idle submitter.
+    pool_ = std::make_unique<common::ThreadPool>(params_.threads - 1);
+  }
 }
 
-void SeScheduler::step() {
-  for (SeExplorer& explorer : explorers_) explorer.step();
-  ++iteration_;
+SeScheduler::~SeScheduler() = default;
+
+std::size_t SeScheduler::next_block_length(std::size_t remaining) const {
+  if (params_.share_interval == 0) return remaining;
+  const std::size_t into = iteration_ % params_.share_interval;
+  return std::min(remaining, params_.share_interval - into);
+}
+
+void SeScheduler::step_explorers(std::size_t k,
+                                 std::vector<SeBlockStats>* blocks,
+                                 std::vector<double>* running_max) {
+  const auto body = [&](std::size_t e) {
+    explorers_[e].step_block(k, blocks ? &(*blocks)[e] : nullptr,
+                             running_max ? &(*running_max)[e] : nullptr);
+  };
+  if (pool_) {
+    pool_->parallel_for(explorers_.size(), body);
+  } else {
+    for (std::size_t e = 0; e < explorers_.size(); ++e) body(e);
+  }
+}
+
+bool SeScheduler::maybe_share() {
   // Thread cooperation (§IV-D): periodically propagate the best solution so
-  // every thread's matching chain polishes the incumbent.
-  if (explorers_.size() > 1 && params_.share_interval > 0 &&
-      iteration_ % params_.share_interval == 0) {
-    double best_utility = -kInf;
-    const SwapSet* incumbent = nullptr;
-    for (const SeExplorer& explorer : explorers_) {
-      if (const auto b = explorer.best(); b && b->first > best_utility) {
-        best_utility = b->first;
-        incumbent = b->second;
-      }
+  // every thread's matching chain polishes the incumbent. Runs on the
+  // calling thread under the barrier — workers are quiescent here.
+  if (explorers_.size() <= 1 || params_.share_interval == 0 ||
+      iteration_ % params_.share_interval != 0) {
+    return false;
+  }
+  double best_utility = -kInf;
+  const SwapSet* incumbent = nullptr;
+  for (const SeExplorer& explorer : explorers_) {
+    if (const auto b = explorer.best(); b && b->first > best_utility) {
+      best_utility = b->first;
+      incumbent = b->second;
     }
-    if (incumbent) {
-      const SwapSet shared = *incumbent;  // copy: adopters mutate in place
-      for (SeExplorer& explorer : explorers_) {
-        explorer.adopt_if_better(shared, best_utility);
-      }
-    }
+  }
+  if (!incumbent) return false;
+  const SwapSet shared = *incumbent;  // copy: adopters mutate in place
+  for (SeExplorer& explorer : explorers_) {
+    explorer.adopt_if_better(shared, best_utility);
+  }
+  return true;
+}
+
+void SeScheduler::step() { advance(1); }
+
+void SeScheduler::advance(std::size_t k) {
+  while (k > 0) {
+    const std::size_t block = next_block_length(k);
+    step_explorers(block, nullptr, nullptr);
+    iteration_ += block;
+    k -= block;
+    maybe_share();
   }
 }
 
@@ -384,30 +449,81 @@ Selection SeScheduler::current_selection() const {
 }
 
 SeResult SeScheduler::run() {
+  // Block-structured main loop: explorers advance a whole barrier-to-barrier
+  // block (up to share_interval iterations) at a time — on the worker pool in
+  // parallel mode, inline otherwise — then the per-iteration global trace is
+  // reconstructed from the per-explorer block stats. Because chains are
+  // independent between share points, the reconstruction is exactly what a
+  // one-iteration-at-a-time interleaving would have observed, so serial and
+  // parallel execution produce bitwise-identical results. Convergence is
+  // still detected at iteration granularity (the trace is truncated there);
+  // explorer state may overshoot by up to one block past the detection
+  // point, which only matters to callers that keep stepping after run().
   SeResult result;
   result.utility_trace.reserve(params_.max_iterations);
   double best_utility = -kInf;
   Selection best_selection;
   std::size_t stale = 0;
+  bool done = false;
 
-  for (std::size_t it = 0; it < params_.max_iterations; ++it) {
-    step();
-    const double u = current_utility();
-    result.utility_trace.push_back(u);
-    if (!std::isnan(u) && u > best_utility + params_.convergence_tol) {
-      best_utility = u;
-      best_selection = current_selection();
-      stale = 0;
-    } else {
-      ++stale;
-    }
-    if (stale >= params_.convergence_window) {
-      result.converged = true;
-      break;
+  std::vector<SeBlockStats> blocks(explorers_.size());
+  std::vector<double> running_max(explorers_.size(), -kInf);
+
+  std::size_t remaining = params_.max_iterations;
+  while (remaining > 0 && !done) {
+    const std::size_t block = next_block_length(remaining);
+    step_explorers(block, &blocks, &running_max);
+    iteration_ += block;
+    remaining -= block;
+    const bool shared = maybe_share();
+
+    for (std::size_t t = 0; t < block && !done; ++t) {
+      // Adoption at a share point can only raise utilities, and the serial
+      // path records the trace entry after sharing — mirror that by reading
+      // the post-share state for the boundary iteration.
+      const bool at_share = shared && t == block - 1;
+      double u = kNaN;
+      if (at_share) {
+        u = current_utility();
+      } else {
+        for (const SeBlockStats& b : blocks) {
+          const double v = b.trace[t];
+          if (!std::isnan(v) && !(v <= u)) u = v;
+        }
+      }
+      result.utility_trace.push_back(u);
+      if (!std::isnan(u) && u > best_utility + params_.convergence_tol) {
+        best_utility = u;
+        if (at_share) {
+          best_selection = current_selection();
+        } else {
+          // The explorer that achieved the new maximum snapshotted its
+          // selection at exactly this offset (a global improvement implies a
+          // new per-explorer maximum); fall back to its latest snapshot at
+          // or before t for sub-tolerance plateau ties.
+          for (const SeBlockStats& b : blocks) {
+            if (b.trace[t] != u) continue;
+            const SeBlockStats::Snapshot* snap = nullptr;
+            for (const SeBlockStats::Snapshot& s : b.snapshots) {
+              if (s.offset > t) break;
+              snap = &s;
+            }
+            if (snap) best_selection = snap->selection;
+            break;
+          }
+        }
+        stale = 0;
+      } else {
+        ++stale;
+      }
+      if (stale >= params_.convergence_window) {
+        result.converged = true;
+        done = true;
+      }
     }
   }
 
-  result.iterations = iteration_;
+  result.iterations = result.utility_trace.size();
   result.feasible = !best_selection.empty();
   if (result.feasible) {
     result.best = std::move(best_selection);

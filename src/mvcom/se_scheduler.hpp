@@ -27,11 +27,19 @@
 //  * Γ parallel execution threads (§IV-D, Fig. 5) are Γ independent
 //    explorer instances; one scheduler iteration steps each thread once and
 //    the reported utility is the best feasible solution across threads.
+//    With SeParams::parallel_execution they are stepped on a fixed worker
+//    pool (one explorer per worker between cooperation barriers); chains are
+//    independent between share points, so the parallel path is bitwise
+//    identical to the serial one — see the SeScheduler class comment.
 //  * Dynamics (Alg. 1 lines 8–12, §V): join adds a committee and the new
 //    cardinality slot; leave (failure) trims every solution containing the
 //    failed committee by re-initialization — the trimmed space G of Fig. 7.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -39,7 +47,26 @@
 #include "mvcom/problem.hpp"
 #include "mvcom/swap_set.hpp"
 
+namespace mvcom::common {
+class ThreadPool;
+}  // namespace mvcom::common
+
 namespace mvcom::core {
+
+namespace detail {
+
+/// ln(−ln(1−u)) — the log of a unit-exponential variate drawn by inverse
+/// CDF, used by the Eq.-(8) timer race in log-space. `u` is clamped into the
+/// open interval (0,1): Rng::uniform01() draws from the half-open [0,1), and
+/// u == 0 would give ln(−ln 1) = ln 0 = −∞ — a degenerate timer that wins
+/// the race deterministically regardless of β·ΔU, corrupting the Eq.-(7)/(8)
+/// transition law.
+[[nodiscard]] inline double log_unit_exponential(double u) noexcept {
+  u = std::max(u, std::numeric_limits<double>::min());
+  return std::log(-std::log1p(-u));
+}
+
+}  // namespace detail
 
 /// How one scheduler iteration advances the solution family {f_n}. Both
 /// modes realize the same time-reversible chain with the Eq.-(6) stationary
@@ -77,6 +104,15 @@ struct SeParams {
   /// thread's chain at the incumbent's cardinality adopts the incumbent if
   /// it is better, so all threads polish the best candidate. 0 disables.
   std::size_t share_interval = 100;
+  /// When true, the Γ explorer threads really run on OS threads: each
+  /// explorer is stepped on its own pool worker between cooperation
+  /// barriers (workers run `share_interval` iterations independently, then
+  /// synchronize at the §IV-D share point). Every explorer owns a private
+  /// forked Rng, so chains stay data-race-free and the results — traces,
+  /// selections, utilities — are bitwise identical to the serial path; only
+  /// wall-clock changes. Off by default so tests and single-core callers
+  /// skip the pool entirely.
+  bool parallel_execution = false;
 };
 
 /// Outcome of a (converged) run.
@@ -90,6 +126,21 @@ struct SeResult {
   std::vector<double> utility_trace;  // best feasible utility per iteration
 };
 
+/// Per-explorer bookkeeping for one barrier-to-barrier block of iterations:
+/// the per-iteration best-feasible-utility trace plus selection snapshots
+/// taken whenever the explorer's running maximum improved. The scheduler
+/// merges these after the barrier to reconstruct the exact global trace and
+/// best selection the serial path would have observed.
+struct SeBlockStats {
+  struct Snapshot {
+    std::size_t offset = 0;  // iteration index within the block
+    double utility = 0.0;
+    Selection selection;
+  };
+  std::vector<double> trace;
+  std::vector<Snapshot> snapshots;
+};
+
 /// One independent exploration thread: the solution family {f_n} + timers.
 class SeExplorer {
  public:
@@ -101,6 +152,16 @@ class SeExplorer {
   /// expiry (kTimerRace; RESET implicitly refreshes all timers, which are
   /// resampled on the next call).
   void step();
+
+  /// `k` consecutive iterations — the unit of work one pool worker performs
+  /// between cooperation barriers. Touches only this explorer's private
+  /// state (solutions + forked Rng) and const shared data, so concurrent
+  /// step_block calls on distinct explorers are data-race-free. When `stats`
+  /// is non-null, records the per-iteration best feasible utility and, when
+  /// `running_max` is also non-null, snapshots the best selection whenever
+  /// it strictly exceeds *running_max (updated in place; persists across
+  /// blocks so only genuinely new maxima are materialized).
+  void step_block(std::size_t k, SeBlockStats* stats, double* running_max);
 
   /// Rebinds to a mutated instance after a join/leave event, carrying over
   /// solutions that survive (leave: solutions containing `removed` are
@@ -148,15 +209,30 @@ class SeExplorer {
 };
 
 /// The full scheduler: Γ explorer threads over a mutable committee set.
+///
+/// Threading model: with SeParams::parallel_execution the Γ explorers are
+/// stepped on a fixed worker pool — each worker advances one explorer for a
+/// whole barrier-to-barrier block (up to share_interval iterations), then
+/// the incumbent selection and adopt_if_better run on the calling thread
+/// under the barrier. The scheduler itself is single-caller: step()/
+/// advance()/run() and the accessors must not be invoked concurrently.
 class SeScheduler {
  public:
   SeScheduler(EpochInstance instance, SeParams params, std::uint64_t seed);
+  ~SeScheduler();
 
   /// Runs until convergence or max_iterations; fills the utility trace.
   SeResult run();
 
   /// One global iteration: every explorer thread performs one transition.
   void step();
+
+  /// Advances `k` global iterations, honoring the §IV-D share points at
+  /// every share_interval boundary. This is the bulk API the event-driven
+  /// online wrapper uses: in parallel mode each barrier-to-barrier block is
+  /// fanned out across the worker pool, so the cost per block is one
+  /// dispatch + one barrier instead of k of them.
+  void advance(std::size_t k);
 
   /// Best feasible utility across threads right now; NaN when none feasible.
   [[nodiscard]] double current_utility() const;
@@ -176,10 +252,26 @@ class SeScheduler {
  private:
   void rebind_all(std::optional<std::uint32_t> removed_index);
 
+  /// Length of the next barrier-to-barrier block: at most `remaining`, and
+  /// never crossing a share_interval boundary.
+  [[nodiscard]] std::size_t next_block_length(std::size_t remaining) const;
+
+  /// Steps every explorer `k` iterations — on the pool when parallel
+  /// execution is enabled, inline otherwise. `blocks`/`running_max` are
+  /// per-explorer (parallel-indexed) and may be null when no tracing is
+  /// needed.
+  void step_explorers(std::size_t k, std::vector<SeBlockStats>* blocks,
+                      std::vector<double>* running_max);
+
+  /// Thread cooperation at a share boundary (§IV-D). Returns true when a
+  /// share actually ran this iteration.
+  bool maybe_share();
+
   EpochInstance instance_;
   SeParams params_;
   std::vector<SeExplorer> explorers_;
   std::size_t iteration_ = 0;
+  std::unique_ptr<common::ThreadPool> pool_;  // non-null iff parallel mode
 };
 
 }  // namespace mvcom::core

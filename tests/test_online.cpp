@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <stdexcept>
+
 #include "common/rng.hpp"
 
 namespace {
@@ -158,6 +161,39 @@ TEST(OnlineSchedulerTest, RejectsDegenerateConfigs) {
   bad_fraction.n_max_fraction = 1.5;
   EXPECT_THROW(OnlineCommitteeScheduler(bad_fraction, 1),
                std::invalid_argument);
+}
+
+// Regression: N_min = n_min_fraction·expected was truncated toward zero
+// (0.5 × 5 → 2), silently weakening the Eq.-(3) lower bound. It now rounds
+// UP, and pairs where N_min ≥ ⌈n_max_fraction·expected⌉ — which would make
+// bootstrap unreachable because listening stops at N_max — are rejected.
+TEST(OnlineSchedulerTest, NminRoundsUpPerEqThree) {
+  OnlineCommitteeScheduler scheduler(config(5, 4000), 1);
+  EXPECT_EQ(scheduler.n_min(), 3u);  // ⌈0.5·5⌉, not ⌊0.5·5⌋ = 2
+}
+
+TEST(OnlineSchedulerTest, UnreachableBootstrapConfigsAreRejected) {
+  // n_min_fraction = 1.0: N_min = expected, but listening stops at
+  // N_max = ⌈0.8·expected⌉ < expected — bootstrap could never trigger.
+  OnlineSchedulerConfig full_min = config();
+  full_min.n_min_fraction = 1.0;
+  EXPECT_THROW(OnlineCommitteeScheduler(full_min, 1), std::invalid_argument);
+  // Equal fractions collapse to N_min == N_max: "strictly more than N_min"
+  // arrivals is likewise impossible.
+  OnlineSchedulerConfig equal = config();
+  equal.n_min_fraction = 0.8;
+  equal.n_max_fraction = 0.8;
+  EXPECT_THROW(OnlineCommitteeScheduler(equal, 1), std::invalid_argument);
+}
+
+TEST(OnlineSchedulerTest, OverflowingReportIsRefused) {
+  OnlineCommitteeScheduler scheduler(config(), 3);
+  ASSERT_TRUE(scheduler.on_report(report(0, 500, 700.0)));
+  EXPECT_FALSE(scheduler.on_report(
+      report(1, std::numeric_limits<std::uint64_t>::max(), 710.0)));
+  EXPECT_EQ(scheduler.arrived(), 1u);
+  // The scheduler keeps accepting sane reports afterwards.
+  EXPECT_TRUE(scheduler.on_report(report(2, 600, 720.0)));
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "baselines/exhaustive.hpp"
@@ -172,6 +174,28 @@ TEST(NpHardnessReductionTest, KnapsackAndMvcomOptimaCoincide) {
   const auto result = exact.solve(mvcom_instance);
   ASSERT_TRUE(result.feasible);
   EXPECT_NEAR(result.utility, knapsack_best, 1e-9);
+}
+
+// Regression: Σ s_i was accumulated in uint64 without a wrap check, so two
+// huge shards could make scheduling_worthwhile() (and every downstream
+// prefix sum) silently wrap. The sum is now validated at construction.
+TEST(OverflowTest, TotalShardSizeOverflowIsRejectedAtConstruction) {
+  constexpr std::uint64_t kHalfPlus =
+      std::numeric_limits<std::uint64_t>::max() / 2 + 1;
+  EXPECT_THROW(EpochInstance({{0, kHalfPlus, 800.0}, {1, kHalfPlus, 900.0}},
+                             1.5, 1000, 0),
+               std::invalid_argument);
+}
+
+TEST(OverflowTest, SingleMaximalShardIsStillAccepted) {
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  const EpochInstance inst({{0, kMax, 800.0}}, 1.5, 1000, 0);
+  EXPECT_EQ(inst.total_txs(), kMax);
+}
+
+TEST(OverflowTest, TotalTxsTracksTheCommitteeSum) {
+  const EpochInstance inst = tiny_instance();
+  EXPECT_EQ(inst.total_txs(), 100u + 150u + 400u + 200u);
 }
 
 }  // namespace

@@ -1,0 +1,194 @@
+// Tests for the SE scheduler's real parallel execution path
+// (SeParams::parallel_execution): determinism contract against the serial
+// path, the independent-chain bitwise guarantee at share_interval ==
+// max_iterations, pool-backed online exploration, and a join/leave storm
+// interleaved with parallel stepping (the ThreadSanitizer workload run by
+// tools/run_tsan_tests.sh).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "mvcom/online.hpp"
+#include "mvcom/se_scheduler.hpp"
+
+namespace {
+
+using mvcom::core::Committee;
+using mvcom::core::EpochInstance;
+using mvcom::core::Selection;
+using mvcom::core::SeParams;
+using mvcom::core::SeResult;
+using mvcom::core::SeScheduler;
+using mvcom::core::SeTransition;
+
+EpochInstance random_instance(std::uint64_t seed, std::size_t n = 24,
+                              std::size_t n_min = 4) {
+  mvcom::common::Rng rng(seed);
+  std::vector<Committee> committees;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    Committee c{static_cast<std::uint32_t>(i), 500 + rng.below(1500),
+                600.0 + rng.uniform(0.0, 900.0)};
+    total += c.txs;
+    committees.push_back(c);
+  }
+  return EpochInstance(std::move(committees), 1.5, (total * 7) / 10, n_min);
+}
+
+void expect_identical(const SeResult& serial, const SeResult& parallel) {
+  EXPECT_EQ(serial.feasible, parallel.feasible);
+  EXPECT_EQ(serial.converged, parallel.converged);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  EXPECT_EQ(serial.best, parallel.best);
+  EXPECT_DOUBLE_EQ(serial.utility, parallel.utility);
+  EXPECT_DOUBLE_EQ(serial.valuable_degree, parallel.valuable_degree);
+  ASSERT_EQ(serial.utility_trace.size(), parallel.utility_trace.size());
+  for (std::size_t i = 0; i < serial.utility_trace.size(); ++i) {
+    const double a = serial.utility_trace[i];
+    const double b = parallel.utility_trace[i];
+    if (std::isnan(a)) {
+      EXPECT_TRUE(std::isnan(b)) << "iteration " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(a, b) << "iteration " << i;
+    }
+  }
+}
+
+SeResult run_once(const EpochInstance& inst, SeParams params, bool parallel,
+                  std::uint64_t seed) {
+  params.parallel_execution = parallel;
+  SeScheduler scheduler(inst, params, seed);
+  return scheduler.run();
+}
+
+TEST(SeParallelTest, IndependentChainsAreBitwiseEqualToSerial) {
+  // share_interval == max_iterations: the Γ chains never communicate, so
+  // each explorer's trajectory depends only on its private forked Rng —
+  // serial and pool execution must agree bit for bit.
+  const EpochInstance inst = random_instance(1);
+  SeParams params;
+  params.threads = 4;
+  params.max_iterations = 600;
+  params.share_interval = params.max_iterations;
+  params.convergence_window = params.max_iterations + 1;  // fixed budget
+  expect_identical(run_once(inst, params, false, 99),
+                   run_once(inst, params, true, 99));
+}
+
+TEST(SeParallelTest, SharingAtBarriersPreservesBitwiseEquality) {
+  // With cooperation enabled the incumbent exchange runs under the barrier
+  // at the same iteration numbers as the serial path, so results still
+  // match exactly.
+  const EpochInstance inst = random_instance(2);
+  SeParams params;
+  params.threads = 4;
+  params.max_iterations = 900;
+  params.share_interval = 50;
+  params.convergence_window = params.max_iterations + 1;
+  expect_identical(run_once(inst, params, false, 7),
+                   run_once(inst, params, true, 7));
+}
+
+TEST(SeParallelTest, ConvergenceDetectionMatchesSerial) {
+  const EpochInstance inst = random_instance(3);
+  SeParams params;
+  params.threads = 3;
+  params.max_iterations = 5000;
+  params.share_interval = 100;
+  params.convergence_window = 300;
+  const SeResult serial = run_once(inst, params, false, 21);
+  const SeResult parallel = run_once(inst, params, true, 21);
+  EXPECT_TRUE(serial.converged);
+  expect_identical(serial, parallel);
+}
+
+TEST(SeParallelTest, TimerRaceKernelAlsoMatches) {
+  const EpochInstance inst = random_instance(4, 16, 3);
+  SeParams params;
+  params.threads = 4;
+  params.transition = SeTransition::kTimerRace;
+  params.max_iterations = 800;
+  params.share_interval = 40;
+  params.convergence_window = params.max_iterations + 1;
+  expect_identical(run_once(inst, params, false, 13),
+                   run_once(inst, params, true, 13));
+}
+
+TEST(SeParallelTest, JoinLeaveStormStaysFeasibleUnderParallelStepping) {
+  // The TSan workload: dynamics (add/remove) interleaved with pool-driven
+  // stepping. Every observed selection must respect capacity and N_min of
+  // the instance at observation time.
+  const EpochInstance inst = random_instance(5, 16, 2);
+  SeParams params;
+  params.threads = 4;
+  params.parallel_execution = true;
+  params.share_interval = 25;
+  SeScheduler scheduler(inst, params, 31);
+  mvcom::common::Rng rng(77);
+  std::uint32_t next_id = 1000;
+  for (int round = 0; round < 40; ++round) {
+    scheduler.advance(30);
+    if (round % 3 == 0) {
+      scheduler.add_committee(
+          {next_id++, 500 + rng.below(1500), 600.0 + rng.uniform(0.0, 900.0)});
+    } else if (scheduler.instance().size() > 6) {
+      // Remove a committee that is currently selected when possible, so the
+      // trimmed-space re-initialization (Fig. 7) really runs.
+      const Selection x = scheduler.current_selection();
+      std::uint32_t victim = scheduler.instance().committees().front().id;
+      for (std::size_t i = 0; i < x.size(); ++i) {
+        if (x[i]) {
+          victim = scheduler.instance().committees()[i].id;
+          break;
+        }
+      }
+      scheduler.remove_committee(victim);
+    }
+    for (int i = 0; i < 5; ++i) scheduler.step();  // single-step path too
+    const Selection x = scheduler.current_selection();
+    if (x.empty()) continue;
+    const auto st = scheduler.instance().stats(x);
+    ASSERT_LE(st.txs, scheduler.instance().capacity()) << "round " << round;
+    ASSERT_GE(st.chosen, scheduler.instance().n_min()) << "round " << round;
+  }
+}
+
+TEST(SeParallelTest, OnlineSchedulerExploresThroughThePool) {
+  mvcom::core::OnlineSchedulerConfig config;
+  config.alpha = 1.5;
+  config.capacity = 4000;
+  config.expected_committees = 10;
+  config.se.threads = 4;
+  config.se.parallel_execution = true;
+  mvcom::core::OnlineCommitteeScheduler scheduler(config, 11);
+  mvcom::common::Rng rng(5);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    mvcom::txn::ShardReport r;
+    r.committee_id = i;
+    r.tx_count = 500 + rng.below(400);
+    r.formation_latency = 650.0 + 20.0 * i;
+    r.consensus_latency = 0.0;
+    scheduler.on_report(r);
+  }
+  scheduler.on_failure(2);
+  scheduler.explore(1000);
+  const auto decision = scheduler.decide();
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_LE(decision.permitted_txs, config.capacity);
+  for (const std::uint32_t id : decision.permitted_ids) EXPECT_NE(id, 2u);
+}
+
+TEST(SeParallelTest, GammaOneIgnoresParallelFlag) {
+  // Γ=1 has nothing to fan out; the flag must be a harmless no-op.
+  const EpochInstance inst = random_instance(6, 12, 2);
+  SeParams params;
+  params.threads = 1;
+  params.max_iterations = 400;
+  params.convergence_window = params.max_iterations + 1;
+  expect_identical(run_once(inst, params, false, 3),
+                   run_once(inst, params, true, 3));
+}
+
+}  // namespace

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Builds the repository with ThreadSanitizer (-DMVCOM_TSAN=ON) in a separate
+# build tree and runs the full tier-1 ctest suite under it. The parallel SE
+# execution path (SeParams::parallel_execution) is exercised by
+# tests/test_se_parallel.cpp, including a join/leave storm interleaved with
+# pool-driven stepping.
+#
+# Usage: tools/run_tsan_tests.sh [extra ctest args…]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${ROOT}/build-tsan"
+
+# Fail the run on the first race report instead of only logging it.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+cmake -B "${BUILD}" -S "${ROOT}" -DMVCOM_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${BUILD}" -j"$(nproc)"
+ctest --test-dir "${BUILD}" --output-on-failure -j"$(nproc)" "$@"

@@ -1,0 +1,306 @@
+#include "mvcom/fault_injection.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvcom::core {
+
+const char* to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kCrashRecover: return "crash-recover";
+    case FaultKind::kStragglerDelay: return "straggler-delay";
+    case FaultKind::kMisreport: return "misreport";
+    case FaultKind::kEquivocate: return "equivocate";
+    case FaultKind::kMessageLossBurst: return "message-loss-burst";
+  }
+  return "unknown";
+}
+
+FaultPlan FaultPlan::randomized(const FaultPlanConfig& config,
+                                std::size_t num_committees,
+                                common::Rng& rng) {
+  FaultPlan plan;
+  const auto draw = [&](FaultKind kind, std::size_t count) {
+    for (std::size_t k = 0; k < count; ++k) {
+      FaultEvent event;
+      event.kind = kind;
+      event.committee_id =
+          static_cast<std::uint32_t>(rng.below(num_committees));
+      event.at_seconds = rng.uniform(0.0, config.horizon_seconds);
+      event.duration_seconds = rng.uniform(config.min_downtime_seconds,
+                                           config.max_downtime_seconds);
+      switch (kind) {
+        case FaultKind::kStragglerDelay:
+          event.magnitude = rng.uniform(1.0, config.max_slowdown);
+          break;
+        case FaultKind::kMisreport:
+        case FaultKind::kEquivocate:
+          event.magnitude = rng.uniform(1.0 + 1e-3, config.max_inflation);
+          break;
+        case FaultKind::kMessageLossBurst:
+          event.magnitude = rng.uniform(0.0, config.max_loss_probability);
+          break;
+        case FaultKind::kCrash:
+        case FaultKind::kCrashRecover:
+          event.magnitude = 1.0;
+          break;
+      }
+      plan.events.push_back(event);
+    }
+  };
+  draw(FaultKind::kCrash, config.crashes);
+  draw(FaultKind::kCrashRecover, config.crash_recovers);
+  draw(FaultKind::kStragglerDelay, config.stragglers);
+  draw(FaultKind::kMisreport, config.misreports);
+  draw(FaultKind::kEquivocate, config.equivocations);
+  draw(FaultKind::kMessageLossBurst, config.loss_bursts);
+  std::sort(plan.events.begin(), plan.events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.at_seconds < b.at_seconds;
+            });
+  return plan;
+}
+
+std::vector<ChaosCommittee> chaos_committees_from_reports(
+    std::span<const txn::ShardReport> reports) {
+  std::vector<ChaosCommittee> committees;
+  committees.reserve(reports.size());
+  for (const txn::ShardReport& r : reports) {
+    ChaosCommittee c;
+    // One count-binding entry per shard suffices: the Merkle commitment is
+    // over (hash, count) pairs, so the single entry binds the full s_i.
+    c.submission = sharding::build_submission(
+        r.committee_id,
+        {{"shard-" + std::to_string(r.committee_id), r.tx_count}});
+    c.formation_latency = r.formation_latency;
+    c.consensus_latency = r.consensus_latency;
+    committees.push_back(std::move(c));
+  }
+  return committees;
+}
+
+namespace {
+
+/// Mutable in-flight state of one committee's submission.
+struct PendingSubmission {
+  sharding::ShardSubmission submission;
+  double formation_latency = 0.0;
+  double consensus_latency = 0.0;
+  double deliver_at = 0.0;  // faults may push this back
+  bool delivered = false;
+};
+
+/// Forges a verification-passing equivocation: the honest entries plus one
+/// fabricated block, re-committed so root and count check out — only the
+/// supervisor's equivocation tracking can catch it.
+sharding::ShardSubmission forge_equivocation(
+    const sharding::ShardSubmission& honest, double inflation) {
+  std::vector<sharding::ShardEntry> entries = honest.entries;
+  const std::uint64_t extra = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             static_cast<double>(honest.claimed_tx_count) *
+             (inflation - 1.0)));
+  entries.push_back({"forged-" + std::to_string(honest.committee_id), extra});
+  return sharding::build_submission(honest.committee_id, std::move(entries));
+}
+
+}  // namespace
+
+ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
+                            const FaultPlan& plan, const ChaosConfig& config,
+                            std::uint64_t seed) {
+  common::Rng root(seed);
+  sim::Simulator simulator;
+  net::Network network(
+      simulator, root.fork(),
+      std::make_shared<net::ExponentialLatency>(
+          common::SimTime(config.link_latency_mean_seconds)),
+      committees.size() + 1);
+  const net::NodeId observer = static_cast<net::NodeId>(committees.size());
+
+  EpochSupervisor supervisor(config.supervisor, root());
+  ChaosReport report;
+
+  // Committee i answers pings on node i.
+  std::vector<PendingSubmission> pending(committees.size());
+  std::vector<net::NodeId> node_of_index(committees.size());
+  for (std::size_t i = 0; i < committees.size(); ++i) {
+    pending[i].submission = committees[i].submission;
+    pending[i].formation_latency = committees[i].formation_latency;
+    pending[i].consensus_latency = committees[i].consensus_latency;
+    pending[i].deliver_at =
+        committees[i].formation_latency + committees[i].consensus_latency;
+    node_of_index[i] = static_cast<net::NodeId>(i);
+    supervisor.register_committee_node(committees[i].submission.committee_id,
+                                       node_of_index[i]);
+  }
+  supervisor.attach_monitor(simulator, network, observer);
+
+  const auto index_of = [&](std::uint32_t committee_id) -> std::size_t {
+    for (std::size_t i = 0; i < committees.size(); ++i) {
+      if (committees[i].submission.committee_id == committee_id) return i;
+    }
+    return committees.size();
+  };
+
+  const auto count_admission = [&](Admission admission) {
+    switch (admission) {
+      case Admission::kAdmitted: ++report.admitted; break;
+      case Admission::kReadmitted: ++report.readmitted; break;
+      case Admission::kQuarantined:
+      case Admission::kBanned: ++report.quarantine_events; break;
+      case Admission::kDuplicate:
+      case Admission::kRefused: ++report.refused; break;
+    }
+  };
+
+  const auto submit = [&](std::size_t i,
+                          const sharding::ShardSubmission& submission) {
+    if (network.is_failed(node_of_index[i])) {
+      ++report.dropped_submissions;  // a down node cannot send (§V-A)
+      return;
+    }
+    count_admission(supervisor.on_submission(submission,
+                                             pending[i].formation_latency,
+                                             pending[i].consensus_latency));
+  };
+
+  // Submission delivery: re-check deliver_at so straggler faults that land
+  // while the message is still "in preparation" push it back.
+  std::function<void(std::size_t)> deliver = [&](std::size_t i) {
+    if (pending[i].delivered) return;
+    if (simulator.now().seconds() + 1e-9 < pending[i].deliver_at) {
+      simulator.schedule_at(common::SimTime(pending[i].deliver_at),
+                            [&deliver, i] { deliver(i); });
+      return;
+    }
+    pending[i].delivered = true;
+    submit(i, pending[i].submission);
+  };
+  for (std::size_t i = 0; i < committees.size(); ++i) {
+    simulator.schedule_at(common::SimTime(pending[i].deliver_at),
+                          [&deliver, i] { deliver(i); });
+  }
+
+  // Fault injection.
+  for (const FaultEvent& event : plan.events) {
+    const std::size_t i = event.kind == FaultKind::kMessageLossBurst
+                              ? 0
+                              : index_of(event.committee_id);
+    if (event.kind != FaultKind::kMessageLossBurst &&
+        i >= committees.size()) {
+      continue;  // victim not part of this run
+    }
+    switch (event.kind) {
+      case FaultKind::kCrash:
+        simulator.schedule_at(common::SimTime(event.at_seconds), [&, i] {
+          network.set_failed(node_of_index[i], true);
+        });
+        break;
+      case FaultKind::kCrashRecover:
+        simulator.schedule_at(common::SimTime(event.at_seconds), [&, i] {
+          network.set_failed(node_of_index[i], true);
+        });
+        simulator.schedule_at(
+            common::SimTime(event.at_seconds + event.duration_seconds),
+            [&, i] { network.set_failed(node_of_index[i], false); });
+        break;
+      case FaultKind::kStragglerDelay:
+        simulator.schedule_at(
+            common::SimTime(event.at_seconds), [&, i, event] {
+              network.set_node_factor(node_of_index[i], event.magnitude);
+              if (!pending[i].delivered) {
+                pending[i].deliver_at = std::max(pending[i].deliver_at,
+                                                 simulator.now().seconds()) +
+                                        event.duration_seconds;
+              }
+            });
+        break;
+      case FaultKind::kMisreport:
+        simulator.schedule_at(
+            common::SimTime(event.at_seconds), [&, i, event] {
+              if (!pending[i].delivered) {
+                // Inflate the claim before it is ever sent; the Merkle
+                // commitment still binds the honest counts, so admission
+                // verification must catch the lie.
+                auto& s = pending[i].submission;
+                s.claimed_tx_count = static_cast<std::uint64_t>(
+                    static_cast<double>(s.claimed_tx_count) *
+                        event.magnitude +
+                    1.0);
+              } else {
+                // Already admitted honestly: send the inflated claim now.
+                sharding::ShardSubmission lie = committees[i].submission;
+                lie.claimed_tx_count = static_cast<std::uint64_t>(
+                    static_cast<double>(lie.claimed_tx_count) *
+                        event.magnitude +
+                    1.0);
+                submit(i, lie);
+              }
+            });
+        break;
+      case FaultKind::kEquivocate:
+        simulator.schedule_at(
+            common::SimTime(event.at_seconds), [&, i, event] {
+              submit(i, forge_equivocation(committees[i].submission,
+                                           event.magnitude));
+            });
+        break;
+      case FaultKind::kMessageLossBurst:
+        simulator.schedule_at(common::SimTime(event.at_seconds), [&, event] {
+          network.set_loss_probability(event.magnitude);
+        });
+        simulator.schedule_at(
+            common::SimTime(event.at_seconds + event.duration_seconds),
+            [&] { network.set_loss_probability(0.0); });
+        break;
+    }
+  }
+
+  // Exploration pump + timeline sampling + the acceptance-criterion check.
+  const auto sample = [&] {
+    const SupervisedDecision d = supervisor.decide();
+    ChaosTimelinePoint point;
+    point.at_seconds = simulator.now().seconds();
+    point.feasible = d.decision.feasible;
+    point.tier = d.tier;
+    point.utility = d.decision.utility;
+    report.timeline.push_back(point);
+    if (!d.decision.feasible &&
+        feasible_selection_exists(supervisor.scheduler().reports(),
+                                  config.supervisor.scheduler.capacity,
+                                  supervisor.scheduler().n_min())) {
+      report.infeasible_while_feasible = true;
+    }
+  };
+  std::function<void()> tick = [&] {
+    supervisor.explore(config.iterations_per_tick);
+    sample();
+    const double next =
+        simulator.now().seconds() + config.explore_tick_seconds;
+    if (next < config.ddl_seconds) {
+      simulator.schedule_at(common::SimTime(next), tick);
+    }
+  };
+  simulator.schedule_at(common::SimTime(config.explore_tick_seconds), tick);
+
+  simulator.run_until(common::SimTime(config.ddl_seconds));
+
+  report.final_decision = supervisor.decide();
+  sample();  // include the DDL instant itself in the timeline/criterion
+  report.failures = supervisor.failures();
+  report.quarantined_ids = supervisor.quarantined_ids();
+  report.banned_ids = supervisor.banned_ids();
+  report.failures_detected = supervisor.failures_detected();
+  report.recoveries_detected = supervisor.recoveries_detected();
+  return report;
+}
+
+}  // namespace mvcom::core

@@ -1,0 +1,133 @@
+#pragma once
+// FaultPlan chaos harness — schedulable fault injection for the
+// EpochSupervisor, driven end to end on the discrete-event simulator:
+// committee submissions arrive at their two-phase latencies, the
+// supervisor's heartbeat monitor probes every committee over the simulated
+// network, and a FaultPlan perturbs the run with crashes, crash-recoveries,
+// straggler slowdowns, inflated-s_i misreports, verification-passing
+// equivocations, and message-loss bursts. At the DDL the supervisor's
+// graceful-degradation decide() produces the epoch answer; the harness
+// certifies on every sample that the ladder never reports infeasible while
+// a feasible selection exists, and copies out the Theorem-2 failure
+// accounting.
+//
+// The same ChaosCommittee inputs can come from the fast calibrated workload
+// path (txn::WorkloadGenerator) or from a real Elastico→PBFT epoch
+// (sharding::ElasticoNetwork outcome reports) — see
+// chaos_committees_from_reports.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mvcom/supervisor.hpp"
+#include "txn/workload.hpp"
+
+namespace mvcom::core {
+
+enum class FaultKind {
+  kCrash,            // node fails at `at` and stays down
+  kCrashRecover,     // node fails at `at`, recovers after `duration`
+  kStragglerDelay,   // node slows by ×magnitude; pending submission +duration
+  kMisreport,        // claimed s_i inflated ×magnitude (commitment unchanged)
+  kEquivocate,       // second, verification-passing submission, different s_i
+  kMessageLossBurst, // loss probability = magnitude for `duration`
+};
+[[nodiscard]] const char* to_string(FaultKind kind) noexcept;
+
+/// One scheduled fault. `committee_id` indexes the victim (ignored for
+/// kMessageLossBurst, which is network-wide).
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  std::uint32_t committee_id = 0;
+  double at_seconds = 0.0;
+  double duration_seconds = 0.0;  // kCrashRecover / kStragglerDelay / bursts
+  double magnitude = 1.0;         // slowdown ×, inflation ×, burst loss prob
+};
+
+struct FaultPlanConfig {
+  std::size_t crashes = 1;
+  std::size_t crash_recovers = 1;
+  std::size_t stragglers = 1;
+  std::size_t misreports = 1;
+  std::size_t equivocations = 0;
+  std::size_t loss_bursts = 0;
+  double horizon_seconds = 1500.0;  // faults drawn uniformly in [0, horizon)
+  double min_downtime_seconds = 60.0;
+  double max_downtime_seconds = 300.0;
+  double max_slowdown = 8.0;      // straggler factor drawn in (1, max]
+  double max_inflation = 4.0;     // misreport factor drawn in (1, max]
+  double max_loss_probability = 0.6;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  /// Draws a randomized schedule: victims are sampled uniformly over
+  /// [0, num_committees), times over [0, horizon). Deterministic per rng
+  /// state — the property tests sweep seeds.
+  [[nodiscard]] static FaultPlan randomized(const FaultPlanConfig& config,
+                                            std::size_t num_committees,
+                                            common::Rng& rng);
+};
+
+/// One committee as the harness drives it: its honest submission plus the
+/// latencies the final committee measures. The committee answers pings on
+/// the node whose index equals its position in the input vector.
+struct ChaosCommittee {
+  sharding::ShardSubmission submission;
+  double formation_latency = 0.0;
+  double consensus_latency = 0.0;
+};
+
+/// Builds honest chaos inputs from shard reports (either the calibrated
+/// workload generator's or a real Elastico epoch's): each submission gets a
+/// single count-binding entry carrying the report's s_i.
+[[nodiscard]] std::vector<ChaosCommittee> chaos_committees_from_reports(
+    std::span<const txn::ShardReport> reports);
+
+struct ChaosConfig {
+  SupervisorConfig supervisor{};
+  double ddl_seconds = 1800.0;         // when decide() is taken
+  double explore_tick_seconds = 20.0;  // SE exploration pump + sampling
+  std::size_t iterations_per_tick = 40;
+  double link_latency_mean_seconds = 2.0;
+};
+
+/// One sampled point of the run (taken at every explore tick).
+struct ChaosTimelinePoint {
+  double at_seconds = 0.0;
+  bool feasible = false;
+  DecisionTier tier = DecisionTier::kInfeasible;
+  double utility = 0.0;
+};
+
+struct ChaosReport {
+  SupervisedDecision final_decision{};
+  std::vector<ChaosTimelinePoint> timeline;
+  std::vector<FailureRecord> failures;  // Theorem-2 accounting per failure
+  // Admission statistics.
+  std::uint64_t admitted = 0;
+  std::uint64_t readmitted = 0;
+  std::uint64_t quarantine_events = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t dropped_submissions = 0;  // sender was down at send time
+  std::vector<std::uint32_t> quarantined_ids;
+  std::vector<std::uint32_t> banned_ids;
+  // Detector statistics.
+  std::uint64_t failures_detected = 0;
+  std::uint64_t recoveries_detected = 0;
+  /// True if any sampled decide() reported infeasible while
+  /// feasible_selection_exists held on the live set — the acceptance
+  /// criterion the ladder must never violate.
+  bool infeasible_while_feasible = false;
+};
+
+/// Runs one supervised epoch under the fault plan and returns the full
+/// report. Deterministic per (inputs, seed).
+[[nodiscard]] ChaosReport run_chaos_epoch(
+    const std::vector<ChaosCommittee>& committees, const FaultPlan& plan,
+    const ChaosConfig& config, std::uint64_t seed);
+
+}  // namespace mvcom::core

@@ -50,9 +50,7 @@ EpochInstance OnlineCommitteeScheduler::build_instance() const {
 void OnlineCommitteeScheduler::try_bootstrap() {
   if (scheduler_) return;
   if (reports_.size() <= n_min_) return;
-  std::uint64_t total = 0;
-  for (const auto& r : reports_) total += r.tx_count;
-  if (total <= config_.capacity) return;  // capacity slack: nothing to do yet
+  if (total_txs_ <= config_.capacity) return;  // capacity slack: nothing yet
   // Alg. 1 line 1 satisfied: start exploring.
   scheduler_.emplace(build_instance(), config_.se, seed_);
 }
@@ -67,12 +65,14 @@ bool OnlineCommitteeScheduler::on_report(const txn::ShardReport& report) {
   // Refuse a report whose claimed shard size would wrap the 64-bit Σ s
   // bookkeeping (EpochInstance construction rejects such sets outright; an
   // adversarial committee must not be able to crash the listening loop).
-  std::uint64_t total = 0;
-  for (const txn::ShardReport& r : reports_) total += r.tx_count;  // exact
-  if (report.tx_count > std::numeric_limits<std::uint64_t>::max() - total) {
+  // total_txs_ is maintained incrementally across report/failure/recovery,
+  // so admission is O(|I|) per arrival instead of O(|I|²) overall.
+  if (report.tx_count >
+      std::numeric_limits<std::uint64_t>::max() - total_txs_) {
     return false;
   }
   reports_.push_back(report);
+  total_txs_ += report.tx_count;
   if (scheduler_) {
     scheduler_->add_committee(
         {report.committee_id, report.tx_count, report.two_phase_latency()});
@@ -92,7 +92,12 @@ void OnlineCommitteeScheduler::on_failure(std::uint32_t committee_id) {
         return r.committee_id == committee_id;
       });
   if (it == reports_.end()) return;
+  total_txs_ -= it->tx_count;
   reports_.erase(it);
+  if (std::find(failed_ids_.begin(), failed_ids_.end(), committee_id) ==
+      failed_ids_.end()) {
+    failed_ids_.push_back(committee_id);
+  }
   if (scheduler_) {
     if (reports_.empty()) {
       scheduler_.reset();  // nothing left to schedule over
@@ -106,10 +111,18 @@ void OnlineCommitteeScheduler::on_failure(std::uint32_t committee_id) {
 bool OnlineCommitteeScheduler::on_recovery(const txn::ShardReport& report) {
   // A recovery is a (re-)join; it may arrive even after listening stopped —
   // the committee was already counted among the arrived (§VI-D, Fig. 9(a)).
+  // Only ids that actually failed qualify: otherwise the recovery door would
+  // admit brand-new committees past the N_max cutoff (and an equivocating
+  // live committee could "recover" with a different s_i on top of its
+  // standing report — the duplicate check below refuses that too).
+  const auto failed_it =
+      std::find(failed_ids_.begin(), failed_ids_.end(), report.committee_id);
+  if (failed_it == failed_ids_.end()) return false;
   const bool was_listening = listening_;
   listening_ = true;
   const bool accepted = on_report(report);
   listening_ = was_listening && listening_;
+  if (accepted) failed_ids_.erase(failed_it);
   return accepted;
 }
 
@@ -130,8 +143,18 @@ SchedulingDecision OnlineCommitteeScheduler::decide() const {
   if (scheduler_) {
     best = scheduler_->current_selection();
     // The scheduler's internal instance matches reports_ (kept in lock-step
-    // by on_report/on_failure); guard regardless.
-    if (best.size() != instance.size()) best.clear();
+    // by on_report/on_failure/on_recovery); guard regardless. A size-only
+    // comparison cannot see id misalignment — after interleaved failures and
+    // recoveries the two sets could in principle hold the same COUNT of
+    // committees in different order or membership, and selection bits would
+    // silently apply to the wrong committees. Compare ids element-wise.
+    const auto& sched_committees = scheduler_->instance().committees();
+    bool aligned = best.size() == instance.size() &&
+                   sched_committees.size() == instance.size();
+    for (std::size_t i = 0; aligned && i < instance.size(); ++i) {
+      aligned = sched_committees[i].id == instance.committees()[i].id;
+    }
+    if (!aligned) best.clear();
   }
   if (best.empty()) {
     // Not bootstrapped (capacity slack): permit everything if feasible.

@@ -64,7 +64,9 @@ class OnlineCommitteeScheduler {
   /// currently tracked.
   void on_failure(std::uint32_t committee_id);
 
-  /// A failed committee recovered and re-submitted.
+  /// A failed committee recovered and re-submitted. Only ids that previously
+  /// went through on_failure may re-enter this way — the recovery door must
+  /// not double as a late-join loophole after listening stopped at N_max.
   bool on_recovery(const txn::ShardReport& report);
 
   /// Runs `iterations` SE iterations if the algorithm has bootstrapped.
@@ -81,6 +83,21 @@ class OnlineCommitteeScheduler {
   }
   [[nodiscard]] std::size_t n_min() const noexcept { return n_min_; }
 
+  /// The live (non-failed) reports currently backing decisions.
+  [[nodiscard]] const std::vector<txn::ShardReport>& reports() const noexcept {
+    return reports_;
+  }
+  /// Running Σ tx_count over the live reports (kept incrementally — the
+  /// admission loop must not rescan all reports per arrival).
+  [[nodiscard]] std::uint64_t total_reported_txs() const noexcept {
+    return total_txs_;
+  }
+  /// The underlying SE scheduler, nullptr before bootstrap. Exposed for
+  /// supervision layers that need the raw selection for fallback repair.
+  [[nodiscard]] const SeScheduler* se() const noexcept {
+    return scheduler_ ? &*scheduler_ : nullptr;
+  }
+
   /// Produces the current best selection (the epoch's final answer).
   [[nodiscard]] SchedulingDecision decide() const;
 
@@ -94,6 +111,8 @@ class OnlineCommitteeScheduler {
   std::size_t n_max_count_ = 0;
   bool listening_ = true;
   std::vector<txn::ShardReport> reports_;  // live (non-failed) committees
+  std::uint64_t total_txs_ = 0;            // Σ tx_count over reports_ (cached)
+  std::vector<std::uint32_t> failed_ids_;  // ids eligible for on_recovery
   std::optional<SeScheduler> scheduler_;
 };
 

@@ -1,0 +1,425 @@
+#include "mvcom/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "analysis/theory.hpp"
+#include "baselines/greedy.hpp"
+#include "baselines/solver.hpp"
+
+namespace mvcom::core {
+
+namespace {
+
+constexpr double kBoundSlack = 1e-9;  // float noise in the Theorem-2 check
+
+/// Fills the decision fields from a selection already known feasible.
+void fill_decision(SupervisedDecision& out, const EpochInstance& instance,
+                   const Selection& selection, DecisionTier tier) {
+  out.tier = tier;
+  out.reason = InfeasibleReason::kNone;
+  out.decision.feasible = true;
+  out.decision.utility = instance.utility(selection);
+  out.decision.valuable_degree = instance.valuable_degree(selection);
+  out.decision.permitted_txs = instance.permitted_txs(selection);
+  out.decision.permitted_ids.clear();
+  for (std::size_t i = 0; i < selection.size(); ++i) {
+    if (selection[i]) {
+      out.decision.permitted_ids.push_back(instance.committees()[i].id);
+    }
+  }
+}
+
+/// The N_min smallest shards — the cheapest witness of Eq. (3)+(4)
+/// feasibility. Empty optional when even that witness exceeds Ĉ.
+std::optional<Selection> minimal_feasible(const EpochInstance& instance) {
+  const std::size_t n_min = instance.n_min();
+  if (n_min > instance.size()) return std::nullopt;
+  std::vector<std::size_t> order(instance.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return instance.committees()[a].txs < instance.committees()[b].txs;
+  });
+  Selection x(instance.size(), 0);
+  std::uint64_t txs = 0;
+  for (std::size_t k = 0; k < n_min; ++k) {
+    txs += instance.committees()[order[k]].txs;
+    x[order[k]] = 1;
+  }
+  if (txs > instance.capacity()) return std::nullopt;
+  return x;
+}
+
+}  // namespace
+
+const char* to_string(Admission admission) noexcept {
+  switch (admission) {
+    case Admission::kAdmitted: return "admitted";
+    case Admission::kReadmitted: return "readmitted";
+    case Admission::kQuarantined: return "quarantined";
+    case Admission::kBanned: return "banned";
+    case Admission::kDuplicate: return "duplicate";
+    case Admission::kRefused: return "refused";
+  }
+  return "unknown";
+}
+
+const char* to_string(DecisionTier tier) noexcept {
+  switch (tier) {
+    case DecisionTier::kSeBest: return "se-best";
+    case DecisionTier::kGreedyRepair: return "greedy-repair";
+    case DecisionTier::kGreedyScratch: return "greedy-scratch";
+    case DecisionTier::kPermitAll: return "permit-all";
+    case DecisionTier::kInfeasible: return "infeasible";
+  }
+  return "unknown";
+}
+
+const char* to_string(InfeasibleReason reason) noexcept {
+  switch (reason) {
+    case InfeasibleReason::kNone: return "none";
+    case InfeasibleReason::kNoLiveCommittees: return "no live committees";
+    case InfeasibleReason::kNminUnreachable: return "N_min unreachable";
+    case InfeasibleReason::kCapacityInsufficient:
+      return "capacity insufficient for N_min";
+  }
+  return "unknown";
+}
+
+bool feasible_selection_exists(std::span<const txn::ShardReport> reports,
+                               std::uint64_t capacity, std::size_t n_min) {
+  if (reports.size() < n_min) return false;
+  if (n_min == 0) return true;  // the empty selection satisfies both bounds
+  std::vector<std::uint64_t> sizes;
+  sizes.reserve(reports.size());
+  for (const txn::ShardReport& r : reports) sizes.push_back(r.tx_count);
+  std::nth_element(sizes.begin(),
+                   sizes.begin() + static_cast<std::ptrdiff_t>(n_min - 1),
+                   sizes.end());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n_min; ++i) {
+    if (sizes[i] > capacity - total) return false;  // overflow-safe
+    total += sizes[i];
+  }
+  return true;
+}
+
+EpochSupervisor::EpochSupervisor(SupervisorConfig config, std::uint64_t seed)
+    : config_(config),
+      scheduler_(config.scheduler, seed),
+      rng_(seed ^ 0x5eb0a9d5u) {
+  if (config_.max_strikes <= 0) {
+    throw std::invalid_argument("EpochSupervisor: max_strikes > 0");
+  }
+  if (config_.ping_interval_seconds <= 0.0 ||
+      config_.ping_timeout_seconds <= 0.0 ||
+      config_.missed_pings_before_failure <= 0 ||
+      config_.ping_backoff_factor < 1.0) {
+    throw std::invalid_argument("EpochSupervisor: bad monitor parameters");
+  }
+}
+
+Admission EpochSupervisor::on_submission(
+    const sharding::ShardSubmission& submission, double formation_latency,
+    double consensus_latency) {
+  CommitteeHealth& h = health_[submission.committee_id];
+  if (h.banned) return Admission::kBanned;
+
+  if (sharding::verify_submission(submission)) {
+    // The claimed s_i or root disagrees with the count-binding commitment —
+    // the claim must never reach the instance.
+    strike(submission.committee_id, h);
+    return h.banned ? Admission::kBanned : Admission::kQuarantined;
+  }
+
+  // Verified: the entries total equals the claim, so the claim is now the
+  // trusted s_i.
+  const std::uint64_t verified_txs = submission.claimed_tx_count;
+  txn::ShardReport report;
+  report.committee_id = submission.committee_id;
+  report.tx_count = verified_txs;
+  report.formation_latency = formation_latency;
+  report.consensus_latency = consensus_latency;
+
+  if (h.admitted) {
+    if (verified_txs == h.verified_txs) return Admission::kDuplicate;
+    // Equivocation: two verified submissions binding different s_i. Both
+    // commitments are internally consistent, so one of them lies about the
+    // actual shard — evict and strike.
+    strike(submission.committee_id, h);
+    return h.banned ? Admission::kBanned : Admission::kQuarantined;
+  }
+
+  const bool was_evicted = h.quarantined || h.failed ||
+                           evicted_from_scheduler_[submission.committee_id];
+  const bool accepted = evicted_from_scheduler_[submission.committee_id]
+                            ? scheduler_.on_recovery(report)
+                            : scheduler_.on_report(report);
+  if (!accepted) return Admission::kRefused;
+
+  evicted_from_scheduler_[submission.committee_id] = false;
+  h.admitted = true;
+  h.quarantined = false;
+  h.failed = false;
+  h.missed_pings = 0;
+  h.verified_txs = verified_txs;
+  last_verified_[submission.committee_id] = report;
+  return was_evicted ? Admission::kReadmitted : Admission::kAdmitted;
+}
+
+void EpochSupervisor::strike(std::uint32_t committee_id,
+                             CommitteeHealth& health) {
+  ++health.strikes;
+  health.quarantined = true;
+  if (health.strikes >= config_.max_strikes) health.banned = true;
+  if (health.admitted) {
+    // Its previously admitted report can no longer be trusted either.
+    scheduler_.on_failure(committee_id);
+    evicted_from_scheduler_[committee_id] = true;
+    health.admitted = false;
+  }
+}
+
+void EpochSupervisor::on_failure(std::uint32_t committee_id) {
+  CommitteeHealth& h = health_[committee_id];
+  if (h.failed) return;
+  h.failed = true;
+  ++failures_detected_;
+  if (!h.admitted) return;  // nothing contributed to the instance yet
+
+  FailureRecord record;
+  record.committee_id = committee_id;
+  record.sim_time_seconds = now_seconds();
+  record.utility_before = best_ladder_utility();
+
+  scheduler_.on_failure(committee_id);
+  evicted_from_scheduler_[committee_id] = true;
+  h.admitted = false;
+
+  // Theorem 2 at runtime: the stationary-utility perturbation caused by the
+  // trim is bounded by max_{g∈G} U_g. The ladder's best answer on the
+  // trimmed set certifies a lower bound on max_G U_g; the observed dip must
+  // stay within the bound built from it.
+  record.utility_after = best_ladder_utility();
+  record.perturbation_bound =
+      analysis::failure_perturbation_bound(record.utility_after);
+  record.within_bound =
+      std::abs(record.utility_before - record.utility_after) <=
+      record.perturbation_bound + kBoundSlack;
+  failures_.push_back(record);
+}
+
+bool EpochSupervisor::on_recovery(std::uint32_t committee_id) {
+  const auto it = health_.find(committee_id);
+  if (it == health_.end() || !it->second.failed) return false;
+  CommitteeHealth& h = it->second;
+  h.failed = false;
+  h.missed_pings = 0;
+  ++recoveries_detected_;
+  if (h.banned || h.quarantined) return false;  // alive, but not trusted
+  const auto report_it = last_verified_.find(committee_id);
+  if (report_it == last_verified_.end()) return false;  // never submitted
+  if (!evicted_from_scheduler_[committee_id]) return false;
+  const bool accepted = scheduler_.on_recovery(report_it->second);
+  if (accepted) {
+    evicted_from_scheduler_[committee_id] = false;
+    h.admitted = true;
+  }
+  return accepted;
+}
+
+void EpochSupervisor::explore(std::size_t iterations) {
+  scheduler_.explore(iterations);
+}
+
+void EpochSupervisor::attach_monitor(sim::Simulator& simulator,
+                                     net::Network& network,
+                                     net::NodeId observer) {
+  simulator_ = &simulator;
+  network_ = &network;
+  observer_ = observer;
+  for (const auto& [id, node] : node_of_) {
+    (void)node;
+    CommitteeHealth& h = health_[id];
+    if (h.ping_interval_seconds <= 0.0) {
+      h.ping_interval_seconds = config_.ping_interval_seconds;
+    }
+    schedule_probe(id, h.ping_interval_seconds);
+  }
+}
+
+void EpochSupervisor::register_committee_node(std::uint32_t committee_id,
+                                              net::NodeId node) {
+  const bool known = node_of_.count(committee_id) != 0;
+  node_of_[committee_id] = node;
+  CommitteeHealth& h = health_[committee_id];
+  if (h.ping_interval_seconds <= 0.0) {
+    h.ping_interval_seconds = config_.ping_interval_seconds;
+  }
+  if (simulator_ != nullptr && !known) {
+    schedule_probe(committee_id, h.ping_interval_seconds);
+  }
+}
+
+void EpochSupervisor::schedule_probe(std::uint32_t committee_id,
+                                     double delay_seconds) {
+  simulator_->schedule_after(common::SimTime(delay_seconds),
+                             [this, committee_id] { probe(committee_id); });
+}
+
+void EpochSupervisor::probe(std::uint32_t committee_id) {
+  const net::NodeId node = node_of_.at(committee_id);
+  CommitteeHealth& h = health_[committee_id];
+  // A probe is a real message exchange: it can be lost outright (burst
+  // loss), answered late (straggler slowdown inflates the sampled RTT), or
+  // never answered (failed node → infinite RTT).
+  const common::SimTime rtt = network_->ping_rtt(observer_, node);
+  const bool lost = rng_.bernoulli(network_->loss_probability());
+  const bool missed = lost || rtt.is_infinite() ||
+                      rtt.seconds() > config_.ping_timeout_seconds;
+  if (missed) {
+    ++h.missed_pings;
+    if (!h.failed &&
+        h.missed_pings >= config_.missed_pings_before_failure) {
+      on_failure(committee_id);
+    }
+    if (h.failed) {
+      // Down: keep checking, but back off exponentially (§V-A timeouts).
+      h.ping_interval_seconds =
+          std::min(h.ping_interval_seconds * config_.ping_backoff_factor,
+                   config_.ping_interval_cap_seconds);
+    }
+  } else {
+    h.missed_pings = 0;
+    h.ping_interval_seconds = config_.ping_interval_seconds;
+    if (h.failed) on_recovery(committee_id);
+  }
+  schedule_probe(committee_id, h.ping_interval_seconds);
+}
+
+double EpochSupervisor::now_seconds() const {
+  return simulator_ != nullptr ? simulator_->now().seconds() : 0.0;
+}
+
+double EpochSupervisor::best_ladder_utility() const {
+  const SupervisedDecision d = decide();
+  return d.decision.feasible ? d.decision.utility : 0.0;
+}
+
+SupervisedDecision EpochSupervisor::decide() const {
+  SupervisedDecision out;
+  for (const FailureRecord& record : failures_) {
+    out.perturbation_bound =
+        std::max(out.perturbation_bound, record.perturbation_bound);
+    out.theorem2_respected = out.theorem2_respected && record.within_bound;
+  }
+
+  const std::vector<txn::ShardReport>& reports = scheduler_.reports();
+  if (reports.empty()) {
+    out.reason = InfeasibleReason::kNoLiveCommittees;
+    return out;
+  }
+  const EpochInstance instance = EpochInstance::from_reports(
+      reports, config_.scheduler.alpha, config_.scheduler.capacity,
+      scheduler_.n_min());
+
+  // Tier 1 — SE best: the converged stochastic-exploration answer.
+  Selection se_selection;
+  if (const SeScheduler* se = scheduler_.se()) {
+    se_selection = se->current_selection();
+    // Same id-alignment guard as OnlineCommitteeScheduler::decide().
+    const auto& sched_committees = se->instance().committees();
+    bool aligned = se_selection.size() == instance.size() &&
+                   sched_committees.size() == instance.size();
+    for (std::size_t i = 0; aligned && i < instance.size(); ++i) {
+      aligned = sched_committees[i].id == instance.committees()[i].id;
+    }
+    if (!aligned) se_selection.clear();
+    if (!se_selection.empty() && instance.feasible(se_selection)) {
+      fill_decision(out, instance, se_selection, DecisionTier::kSeBest);
+      return out;
+    }
+  }
+
+  // Tier 2 — greedy density repair of the SE selection: a late failure may
+  // have broken feasibility of an otherwise good selection; shed/fill it
+  // instead of discarding the exploration work.
+  if (se_selection.size() == instance.size()) {
+    Selection repaired = se_selection;
+    if (baselines::repair(instance, repaired) &&
+        instance.feasible(repaired)) {
+      fill_decision(out, instance, repaired, DecisionTier::kGreedyRepair);
+      return out;
+    }
+  }
+
+  // Tier 3 — greedy from scratch over the live set. When the density greedy
+  // itself cannot reach feasibility, fall back to the minimal witness (the
+  // N_min smallest shards): it is feasible whenever anything is, so this
+  // tier only falls through when the instance is genuinely infeasible.
+  {
+    baselines::Greedy greedy;
+    const baselines::SolverResult r = greedy.solve(instance);
+    if (r.feasible) {
+      fill_decision(out, instance, r.best, DecisionTier::kGreedyScratch);
+      return out;
+    }
+    if (instance.n_min() > 0) {
+      if (const auto witness = minimal_feasible(instance)) {
+        fill_decision(out, instance, *witness, DecisionTier::kGreedyScratch);
+        return out;
+      }
+    }
+  }
+
+  // Tier 4 — permit everyone (the paper's pre-bootstrap slack behavior).
+  {
+    Selection everyone(instance.size(), 1);
+    if (instance.feasible(everyone)) {
+      fill_decision(out, instance, everyone, DecisionTier::kPermitAll);
+      return out;
+    }
+  }
+
+  // N_min = 0: the empty selection satisfies both constraints, so an
+  // over-capacity live set still yields a (degenerate, zero-throughput)
+  // feasible answer rather than an infeasible epoch.
+  if (instance.n_min() == 0) {
+    fill_decision(out, instance, Selection(instance.size(), 0),
+                  DecisionTier::kGreedyScratch);
+    return out;
+  }
+
+  // Tier 5 — genuinely infeasible; say why.
+  out.tier = DecisionTier::kInfeasible;
+  out.reason = reports.size() < scheduler_.n_min()
+                   ? InfeasibleReason::kNminUnreachable
+                   : InfeasibleReason::kCapacityInsufficient;
+  return out;
+}
+
+std::optional<CommitteeHealth> EpochSupervisor::health(
+    std::uint32_t committee_id) const {
+  const auto it = health_.find(committee_id);
+  if (it == health_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint32_t> EpochSupervisor::quarantined_ids() const {
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, h] : health_) {
+    if (h.quarantined && !h.banned) ids.push_back(id);
+  }
+  return ids;
+}
+
+std::vector<std::uint32_t> EpochSupervisor::banned_ids() const {
+  std::vector<std::uint32_t> ids;
+  for (const auto& [id, h] : health_) {
+    if (h.banned) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace mvcom::core

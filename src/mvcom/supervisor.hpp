@@ -1,0 +1,227 @@
+#pragma once
+// EpochSupervisor — the fault-tolerant deployment layer around
+// OnlineCommitteeScheduler. The paper's deployment story (§V, Fig. 5–7,
+// Theorem 2) is about surviving committee failures, stragglers, and rational
+// misreporting; the bare scheduler trusts every claimed s_i and relies on
+// callers to detect failures. The supervisor adds the three missing
+// robustness subsystems:
+//
+//  1. Verified admission — committees submit a sharding::ShardSubmission
+//     whose Merkle root binds per-block transaction counts. Submissions are
+//     checked with verify_submission before their s_i ever reaches the
+//     scheduling instance; a committee whose claimed s_i or root disagrees
+//     is quarantined with a per-committee strike count. A later honest
+//     submission re-admits it, until the strike budget is exhausted and the
+//     committee is banned for the epoch. A verified-but-different
+//     re-submission from a live committee (equivocation) also strikes.
+//
+//  2. Active failure detection — a heartbeat monitor driven by the DES
+//     (sim::Simulator) using Network::ping_rtt, the §V-A failure detector:
+//     pings that exceed a timeout (or are lost) count as missed; K
+//     consecutive misses declare on_failure; probing backs off
+//     exponentially while a committee is down, and a returning ping
+//     triggers automatic on_recovery re-admitting the last verified report.
+//     Fig. 9-style leave/rejoin thus emerges from the network model instead
+//     of being scripted by the caller.
+//
+//  3. Graceful-degradation decide() — a documented fallback ladder so the
+//     epoch always produces the best answer available at the DDL:
+//       tier 1  SE best            converged/bootstrapped SE selection
+//       tier 2  greedy repair      density repair of the (infeasible or
+//                                  partial) SE selection
+//       tier 3  greedy scratch     density greedy over the live set, with a
+//                                  guaranteed minimal-feasible fill (the
+//                                  N_min smallest shards) as last resort —
+//                                  this tier succeeds whenever ANY feasible
+//                                  selection exists
+//       tier 4  permit all         everyone, if that happens to be feasible
+//       tier 5  infeasible         with a machine-readable reason
+//     After every failure the Theorem-2 perturbation bound
+//     (analysis::failure_perturbation_bound) is evaluated at runtime and
+//     surfaced in the decision, so callers can check that the observed
+//     utility dip respects the theory.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mvcom/online.hpp"
+#include "net/network.hpp"
+#include "sharding/verification.hpp"
+#include "sim/simulator.hpp"
+
+namespace mvcom::core {
+
+/// Outcome of one submission presented to the supervisor.
+enum class Admission {
+  kAdmitted,      // verified and entered the scheduling instance
+  kReadmitted,    // verified after an earlier quarantine/failure
+  kQuarantined,   // verification failed or equivocation detected; struck
+  kBanned,        // strike budget exhausted this epoch; dropped outright
+  kDuplicate,     // identical re-submission from a live committee; ignored
+  kRefused,       // wrapped scheduler refused (listening stopped at N_max)
+};
+[[nodiscard]] const char* to_string(Admission admission) noexcept;
+
+/// Which rung of the degradation ladder produced the decision.
+enum class DecisionTier {
+  kSeBest,
+  kGreedyRepair,
+  kGreedyScratch,
+  kPermitAll,
+  kInfeasible,
+};
+[[nodiscard]] const char* to_string(DecisionTier tier) noexcept;
+
+/// Why no feasible selection exists (tier 5 only).
+enum class InfeasibleReason {
+  kNone,                  // decision is feasible
+  kNoLiveCommittees,      // nothing admitted (or everything failed)
+  kNminUnreachable,       // fewer live committees than N_min
+  kCapacityInsufficient,  // even the N_min smallest shards exceed Ĉ
+};
+[[nodiscard]] const char* to_string(InfeasibleReason reason) noexcept;
+
+/// Runtime record of one committee failure and its Theorem-2 accounting.
+struct FailureRecord {
+  std::uint32_t committee_id = 0;
+  double sim_time_seconds = 0.0;    // 0 when no monitor drives the clock
+  double utility_before = 0.0;      // best ladder utility just before trim
+  double utility_after = 0.0;       // best ladder utility on the trimmed set
+  /// Theorem 2: ‖q*uᵀ − q̃uᵀ‖ ≤ max_{g∈G} U_g. The bound is evaluated with
+  /// the best utility the ladder can certify on the trimmed space G.
+  double perturbation_bound = 0.0;
+  bool within_bound = true;         // |before − after| ≤ bound
+};
+
+/// Per-committee robustness state.
+struct CommitteeHealth {
+  bool admitted = false;      // currently contributing to the instance
+  bool quarantined = false;   // last submission struck; awaiting honesty
+  bool banned = false;        // strikes exhausted; refused for the epoch
+  bool failed = false;        // declared failed (detector or caller)
+  int strikes = 0;
+  int missed_pings = 0;
+  std::uint64_t verified_txs = 0;  // s_i of the last verified submission
+  double ping_interval_seconds = 0.0;  // current (possibly backed-off)
+};
+
+struct SupervisorConfig {
+  OnlineSchedulerConfig scheduler{};
+  /// Strikes (failed verifications / equivocations) before a permanent
+  /// epoch-scoped ban.
+  int max_strikes = 3;
+  /// Heartbeat monitor (§V-A ping failure detector).
+  double ping_interval_seconds = 30.0;
+  double ping_timeout_seconds = 12.0;
+  int missed_pings_before_failure = 3;   // K
+  double ping_backoff_factor = 2.0;      // while the committee is down
+  double ping_interval_cap_seconds = 480.0;
+};
+
+/// The epoch's final, tier-attributed answer.
+struct SupervisedDecision {
+  SchedulingDecision decision{};
+  DecisionTier tier = DecisionTier::kInfeasible;
+  InfeasibleReason reason = InfeasibleReason::kNoLiveCommittees;
+  /// Max Theorem-2 bound across the epoch's failures (0 when none).
+  double perturbation_bound = 0.0;
+  /// True iff every recorded failure's utility dip respected its bound.
+  bool theorem2_respected = true;
+};
+
+/// True iff some selection over `reports` satisfies both Eq. (3) and
+/// Eq. (4): at least n_min reports exist and the n_min smallest shard sizes
+/// fit in `capacity` (any feasible selection's n_min smallest members weigh
+/// at least that much, so the test is exact). Used by the chaos harness to
+/// certify that the ladder never reports infeasible while a feasible
+/// selection exists.
+[[nodiscard]] bool feasible_selection_exists(
+    std::span<const txn::ShardReport> reports, std::uint64_t capacity,
+    std::size_t n_min);
+
+class EpochSupervisor {
+ public:
+  EpochSupervisor(SupervisorConfig config, std::uint64_t seed);
+
+  /// Verified admission: checks the count-binding Merkle commitment, then
+  /// feeds the *verified* s_i (never the raw claim) to the scheduler.
+  Admission on_submission(const sharding::ShardSubmission& submission,
+                          double formation_latency, double consensus_latency);
+
+  /// Declares a committee failed (monitor-driven or manual §V-A signal).
+  /// Records the Theorem-2 perturbation accounting when the committee was
+  /// contributing to the instance.
+  void on_failure(std::uint32_t committee_id);
+
+  /// Declares a failed committee recovered; re-admits its last verified
+  /// report unless it is quarantined/banned. Returns true when the report
+  /// re-entered the instance.
+  bool on_recovery(std::uint32_t committee_id);
+
+  /// Opportunistic SE exploration (delegates to the wrapped scheduler).
+  void explore(std::size_t iterations);
+
+  /// Attaches the heartbeat monitor: `observer` is the final committee's
+  /// node; registered committees are probed on `simulator`'s clock.
+  void attach_monitor(sim::Simulator& simulator, net::Network& network,
+                      net::NodeId observer);
+  /// Maps a committee id to the network node that answers its pings and
+  /// schedules its first probe (monitor must be attached first or the
+  /// registration simply records the mapping).
+  void register_committee_node(std::uint32_t committee_id, net::NodeId node);
+
+  /// The graceful-degradation ladder (header comment). Const and
+  /// side-effect-free: callable at any instant, not only the DDL.
+  [[nodiscard]] SupervisedDecision decide() const;
+
+  // -- Introspection -------------------------------------------------------
+  [[nodiscard]] const OnlineCommitteeScheduler& scheduler() const noexcept {
+    return scheduler_;
+  }
+  [[nodiscard]] std::optional<CommitteeHealth> health(
+      std::uint32_t committee_id) const;
+  [[nodiscard]] const std::vector<FailureRecord>& failures() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] std::vector<std::uint32_t> quarantined_ids() const;
+  [[nodiscard]] std::vector<std::uint32_t> banned_ids() const;
+  [[nodiscard]] std::uint64_t failures_detected() const noexcept {
+    return failures_detected_;
+  }
+  [[nodiscard]] std::uint64_t recoveries_detected() const noexcept {
+    return recoveries_detected_;
+  }
+
+ private:
+  /// One verification failure or equivocation: increments the strike count,
+  /// quarantines, evicts a live report, bans past the strike budget.
+  void strike(std::uint32_t committee_id, CommitteeHealth& health);
+  /// Best utility the ladder can certify right now (0 when infeasible).
+  [[nodiscard]] double best_ladder_utility() const;
+  void schedule_probe(std::uint32_t committee_id, double delay_seconds);
+  void probe(std::uint32_t committee_id);
+  [[nodiscard]] double now_seconds() const;
+
+  SupervisorConfig config_;
+  OnlineCommitteeScheduler scheduler_;
+  common::Rng rng_;  // models probe loss under Network::loss_probability
+  std::map<std::uint32_t, CommitteeHealth> health_;
+  std::map<std::uint32_t, txn::ShardReport> last_verified_;
+  /// Ids whose report the wrapped scheduler saw fail (so re-admission goes
+  /// through its recovery door, not the N_max-gated report door).
+  std::map<std::uint32_t, bool> evicted_from_scheduler_;
+  std::vector<FailureRecord> failures_;
+  std::uint64_t failures_detected_ = 0;
+  std::uint64_t recoveries_detected_ = 0;
+
+  sim::Simulator* simulator_ = nullptr;  // non-owning; set by attach_monitor
+  net::Network* network_ = nullptr;
+  net::NodeId observer_ = 0;
+  std::map<std::uint32_t, net::NodeId> node_of_;
+};
+
+}  // namespace mvcom::core

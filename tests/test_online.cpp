@@ -196,4 +196,99 @@ TEST(OnlineSchedulerTest, OverflowingReportIsRefused) {
   EXPECT_TRUE(scheduler.on_report(report(2, 600, 720.0)));
 }
 
+// Regression: the admission overflow check used to rescan all reports per
+// arrival (O(|I|²) across an epoch). It now compares against a cached
+// running total, which must be *decremented* on failure — a stale total
+// would wrongly refuse reports that fit after a big committee failed.
+TEST(OnlineSchedulerTest, CachedTotalTracksArrivalsAndFailures) {
+  constexpr std::uint64_t kHuge =
+      std::numeric_limits<std::uint64_t>::max() - 100;
+  OnlineCommitteeScheduler scheduler(config(), 3);
+  ASSERT_TRUE(scheduler.on_report(report(0, kHuge, 700.0)));
+  EXPECT_EQ(scheduler.total_reported_txs(), kHuge);
+  // Near-max total: the next big report must be refused...
+  EXPECT_FALSE(scheduler.on_report(report(1, 200, 710.0)));
+  // ...but once the huge committee fails, the freed budget is usable again.
+  scheduler.on_failure(0);
+  EXPECT_EQ(scheduler.total_reported_txs(), 0u);
+  EXPECT_TRUE(scheduler.on_report(report(1, kHuge, 710.0)));
+  EXPECT_EQ(scheduler.total_reported_txs(), kHuge);
+}
+
+// Regression for the decide() lock-step guard: it used to compare only the
+// *sizes* of the SE instance and the live report set, so an interleaving of
+// failures and recoveries that restores the count but permutes or replaces
+// the membership would go undetected. The guard now compares committee ids
+// position by position.
+TEST(OnlineSchedulerTest, DecideSurvivesFailRecoverReordering) {
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 11);
+  mvcom::common::Rng rng(11);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    scheduler.on_report(report(i, 500 + rng.below(300), 650.0 + i * 10.0));
+  }
+  scheduler.explore(500);
+  // Fail two committees, then recover them in swapped order: the live set
+  // has the original size but a different id order than at bootstrap.
+  scheduler.on_failure(1);
+  scheduler.on_failure(6);
+  ASSERT_TRUE(scheduler.on_recovery(report(6, 700, 715.0)));
+  ASSERT_TRUE(scheduler.on_recovery(report(1, 700, 655.0)));
+  scheduler.explore(500);
+  const auto decision = scheduler.decide();
+  ASSERT_TRUE(decision.feasible);
+  EXPECT_LE(decision.permitted_txs, 4000u);
+  for (const std::uint32_t id : decision.permitted_ids) {
+    EXPECT_LT(id, 8u);  // only live committees may be permitted
+  }
+}
+
+// on_recovery edge cases: the recovery door is only for committees that
+// actually went through on_failure — otherwise it would double as a
+// late-join (or duplicate-report) loophole after listening stopped.
+TEST(OnlineSchedulerTest, RecoveryOfNeverFailedIdIsRefused) {
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 12);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    scheduler.on_report(report(i, 700, 650.0 + i));
+  }
+  // Id 3 is alive: "recovering" it must not inject a second report.
+  EXPECT_FALSE(scheduler.on_recovery(report(3, 900, 700.0)));
+  // Id 42 was never seen at all.
+  EXPECT_FALSE(scheduler.on_recovery(report(42, 700, 700.0)));
+  EXPECT_EQ(scheduler.arrived(), 6u);
+}
+
+TEST(OnlineSchedulerTest, RecoveryDoorClosesAfterUse) {
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 13);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    scheduler.on_report(report(i, 700, 650.0 + i));
+  }
+  scheduler.on_failure(4);
+  EXPECT_TRUE(scheduler.on_recovery(report(4, 700, 712.0)));
+  // A second "recovery" of the same id is a duplicate, not a rejoin.
+  EXPECT_FALSE(scheduler.on_recovery(report(4, 900, 713.0)));
+  EXPECT_EQ(scheduler.arrived(), 8u);
+}
+
+TEST(OnlineSchedulerTest, RecoveryWithDifferentTxCountUsesTheNewReport) {
+  // A recovering committee may legitimately re-report a different s_i (it
+  // kept packaging while partitioned). The recovery door accepts the fresh
+  // report once — the supervisor layer is responsible for verifying it.
+  OnlineCommitteeScheduler scheduler(config(10, 4000), 14);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    scheduler.on_report(report(i, 700, 650.0 + i));
+  }
+  scheduler.on_failure(2);
+  EXPECT_EQ(scheduler.total_reported_txs(), 7u * 700u);
+  ASSERT_TRUE(scheduler.on_recovery(report(2, 900, 705.0)));
+  EXPECT_EQ(scheduler.total_reported_txs(), 7u * 700u + 900u);
+  bool found = false;
+  for (const auto& r : scheduler.reports()) {
+    if (r.committee_id == 2) {
+      found = true;
+      EXPECT_EQ(r.tx_count, 900u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
 }  // namespace

@@ -14,6 +14,15 @@
 //
 //   mvcom bounds [--committees N] [--beta B] [--spread U] [--epsilon E]
 //       Evaluate Theorem 1's mixing-time bounds (natural-log scale).
+//
+//   mvcom chaos [--committees N] [--capacity C] [--seed S] [--ddl T]
+//               [--crashes N] [--crash-recovers N] [--stragglers N]
+//               [--misreports N] [--equivocations N] [--loss-bursts N]
+//       Run one supervised epoch under a randomized fault plan: committee
+//       submissions are verified on admission, a heartbeat monitor detects
+//       crashes, and the graceful-degradation ladder decides at the DDL.
+//       Prints the plan, the utility timeline, the Theorem-2 accounting per
+//       failure, and the final tier-attributed decision.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +33,7 @@
 
 #include "analysis/theory.hpp"
 #include "common/rng.hpp"
+#include "mvcom/fault_injection.hpp"
 #include "mvcom/se_scheduler.hpp"
 #include "sharding/elastico.hpp"
 #include "txn/trace_generator.hpp"
@@ -68,7 +78,8 @@ std::optional<Args> parse(int argc, char** argv, int first) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mvcom <gen-trace|schedule|epoch|bounds> [options]\n"
+               "usage: mvcom <gen-trace|schedule|epoch|bounds|chaos> "
+               "[options]\n"
                "see the header of tools/mvcom_cli.cpp for details\n");
   return 2;
 }
@@ -187,6 +198,93 @@ int cmd_bounds(const Args& args) {
   return 0;
 }
 
+int cmd_chaos(const Args& args) {
+  const std::size_t committees = args.get_u64("committees", 20);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+
+  // Calibrated workload (§VI-A): one ~1000-TX block per committee.
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = std::max<std::uint64_t>(64, committees);
+  tc.target_total_txs = tc.num_blocks * 1000;
+  mvcom::common::Rng trace_rng(seed + 1);
+  const auto trace = mvcom::txn::generate_trace(tc, trace_rng);
+  mvcom::txn::WorkloadConfig wc;
+  wc.num_committees = committees;
+  const mvcom::txn::WorkloadGenerator gen(trace, wc);
+  mvcom::common::Rng workload_rng(seed + 2);
+  const auto chaos_committees = mvcom::core::chaos_committees_from_reports(
+      gen.epoch(workload_rng).reports);
+
+  mvcom::core::FaultPlanConfig pc;
+  pc.crashes = args.get_u64("crashes", 1);
+  pc.crash_recovers = args.get_u64("crash-recovers", 1);
+  pc.stragglers = args.get_u64("stragglers", 1);
+  pc.misreports = args.get_u64("misreports", 1);
+  pc.equivocations = args.get_u64("equivocations", 0);
+  pc.loss_bursts = args.get_u64("loss-bursts", 0);
+  mvcom::common::Rng plan_rng(seed + 3);
+  const auto plan =
+      mvcom::core::FaultPlan::randomized(pc, committees, plan_rng);
+
+  mvcom::core::ChaosConfig config;
+  config.supervisor.scheduler.alpha = args.get_f64("alpha", 1.5);
+  config.supervisor.scheduler.capacity =
+      args.get_u64("capacity", 1000 * committees);
+  config.supervisor.scheduler.expected_committees = committees;
+  config.ddl_seconds = args.get_f64("ddl", 1800.0);
+
+  const auto report =
+      mvcom::core::run_chaos_epoch(chaos_committees, plan, config, seed);
+
+  std::printf("fault plan (%zu events):\n", plan.events.size());
+  for (const auto& e : plan.events) {
+    std::printf("  t=%7.1fs  %-18s committee %2u  duration %5.0fs  x%.2f\n",
+                e.at_seconds, mvcom::core::to_string(e.kind), e.committee_id,
+                e.duration_seconds, e.magnitude);
+  }
+  std::printf("timeline (every %.0fs):\n", config.explore_tick_seconds * 4);
+  for (std::size_t i = 0; i < report.timeline.size(); i += 4) {
+    const auto& p = report.timeline[i];
+    std::printf("  t=%7.1fs  %-14s utility %10.1f%s\n", p.at_seconds,
+                mvcom::core::to_string(p.tier), p.utility,
+                p.feasible ? "" : "  (infeasible)");
+  }
+  std::printf("admission: %llu admitted, %llu readmitted, %llu quarantined, "
+              "%llu refused, %llu dropped sends\n",
+              static_cast<unsigned long long>(report.admitted),
+              static_cast<unsigned long long>(report.readmitted),
+              static_cast<unsigned long long>(report.quarantine_events),
+              static_cast<unsigned long long>(report.refused),
+              static_cast<unsigned long long>(report.dropped_submissions));
+  std::printf("detector: %llu failures, %llu recoveries\n",
+              static_cast<unsigned long long>(report.failures_detected),
+              static_cast<unsigned long long>(report.recoveries_detected));
+  for (const auto& f : report.failures) {
+    std::printf("  failure t=%7.1fs committee %2u: utility %9.1f -> %9.1f "
+                "(Theorem-2 bound %9.1f, %s)\n",
+                f.sim_time_seconds, f.committee_id, f.utility_before,
+                f.utility_after, f.perturbation_bound,
+                f.within_bound ? "ok" : "VIOLATED");
+  }
+  const auto& d = report.final_decision;
+  if (!d.decision.feasible) {
+    std::printf("final decision: INFEASIBLE (%s)\n",
+                mvcom::core::to_string(d.reason));
+  } else {
+    std::printf("final decision [%s]: utility %.1f, %zu committees, "
+                "%llu TXs of %llu capacity\n",
+                mvcom::core::to_string(d.tier), d.decision.utility,
+                d.decision.permitted_ids.size(),
+                static_cast<unsigned long long>(d.decision.permitted_txs),
+                static_cast<unsigned long long>(
+                    config.supervisor.scheduler.capacity));
+  }
+  std::printf("Theorem 2 respected: %s; infeasible-while-feasible: %s\n",
+              d.theorem2_respected ? "yes" : "NO",
+              report.infeasible_while_feasible ? "VIOLATED" : "never");
+  return report.infeasible_while_feasible ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +297,7 @@ int main(int argc, char** argv) {
     if (command == "schedule") return cmd_schedule(*args);
     if (command == "epoch") return cmd_epoch(*args);
     if (command == "bounds") return cmd_bounds(*args);
+    if (command == "chaos") return cmd_chaos(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mvcom %s: %s\n", command.c_str(), e.what());
     return 1;

@@ -57,26 +57,27 @@ LatencySample measure(std::size_t nodes, std::uint64_t seeds) {
   return sample;
 }
 
-double mean(const std::vector<double>& v) {
-  mvcom::common::RunningStats s;
-  for (const double x : v) s.add(x);
-  return s.mean();
-}
-
 }  // namespace
 
 int main() {
+  mvcom::bench::BenchJson json("fig2_two_phase_latency");
   mvcom::bench::print_header(
       "Fig. 2(a)", "two-phase latency vs network size (Elastico, simulated)");
   std::printf("  %8s %12s %12s %12s\n", "nodes", "formation(s)",
               "consensus(s)", "form-share");
+  std::vector<double> formation_means;
+  std::vector<double> consensus_means;
   for (const std::size_t nodes : {100u, 200u, 400u, 600u, 800u, 1000u}) {
     const LatencySample sample = measure(nodes, 5);
-    const double f = mean(sample.formation);
-    const double c = mean(sample.consensus);
+    const double f = mvcom::common::mean(sample.formation);
+    const double c = mvcom::common::mean(sample.consensus);
+    formation_means.push_back(f);
+    consensus_means.push_back(c);
     std::printf("  %8zu %12.1f %12.1f %11.0f%%\n", nodes, f, c,
                 100.0 * f / (f + c));
   }
+  json.set_series("formation_mean_seconds", formation_means);
+  json.set_series("consensus_mean_seconds", consensus_means);
   std::printf("  (expected shape: formation dominates and grows ~linearly "
               "with network size)\n");
 
@@ -93,5 +94,7 @@ int main() {
   }
   std::printf("  (expected shape: both terms random within their own range; "
               "formation range is much wider)\n");
+  json.set("committees_sampled", static_cast<double>(sample.formation.size()));
+  json.write();
   return 0;
 }

@@ -44,6 +44,7 @@ TimedRun timed_run(const mvcom::core::EpochInstance& instance,
 }  // namespace
 
 int main() {
+  mvcom::bench::BenchJson json("fig8_parallel_threads");
   const auto trace = mvcom::bench::paper_trace();
   const auto instance = mvcom::bench::paper_instance(
       trace, /*epoch_seed=*/1, /*num_committees=*/500, /*capacity=*/500'000,
@@ -90,6 +91,12 @@ int main() {
     const double iter_rate = iters / parallel.seconds;
     const double chain_rate = static_cast<double>(gamma) * iter_rate;
     if (gamma == 1) baseline_chain_rate = chain_rate;
+    const std::string tag = "gamma_" + std::to_string(gamma);
+    json.set(tag + "_utility", parallel.result.utility);
+    json.set(tag + "_iterations", iters);
+    json.set(tag + "_parallel_seconds", parallel.seconds);
+    json.set(tag + "_serial_seconds", serial.seconds);
+    json.set(tag + "_trace_divergence", max_divergence);
     std::printf(
         "  Gamma=%zu: serial %.3fs, parallel %.3fs | %.0f iters/s, "
         "%.0f explorer-iters/s, speedup vs Gamma=1: %.2fx\n",
@@ -99,5 +106,6 @@ int main() {
   std::printf("  (expected shape: higher Γ converges faster/higher; benefit "
               "saturates near Γ=10; explorer-iters/s scales with min(Γ, "
               "cores) when parallel execution is on)\n");
+  json.write();
   return 0;
 }

@@ -6,38 +6,119 @@
 
 namespace mvcom::common {
 
-CsvRow parse_csv_line(std::string_view line, char sep) {
-  if (line.find('"') != std::string_view::npos) {
-    throw std::invalid_argument("quoted CSV fields are not supported");
-  }
+namespace {
+
+bool is_newline(char c) { return c == '\n' || c == '\r'; }
+
+/// Parses one record starting at text[pos], advancing pos past the record's
+/// terminating newline (LF, CRLF, or CR) or to end-of-input. Quoted fields
+/// may contain separators, quotes (doubled), and newlines.
+CsvRow parse_record(std::string_view text, std::size_t& pos, char sep) {
   CsvRow fields;
-  std::size_t start = 0;
-  while (true) {
-    const std::size_t pos = line.find(sep, start);
-    if (pos == std::string_view::npos) {
-      fields.emplace_back(line.substr(start));
-      break;
+  std::string field;
+  for (;;) {
+    field.clear();
+    if (pos < text.size() && text[pos] == '"') {
+      ++pos;  // opening quote
+      for (;;) {
+        if (pos >= text.size()) {
+          throw std::invalid_argument("unterminated quoted CSV field");
+        }
+        const char c = text[pos++];
+        if (c == '"') {
+          if (pos < text.size() && text[pos] == '"') {
+            field += '"';  // "" escape
+            ++pos;
+          } else {
+            break;  // closing quote
+          }
+        } else {
+          field += c;
+        }
+      }
+      if (pos < text.size() && text[pos] != sep && !is_newline(text[pos])) {
+        throw std::invalid_argument(
+            "unexpected character after closing quote in CSV field");
+      }
+    } else {
+      while (pos < text.size() && text[pos] != sep && !is_newline(text[pos])) {
+        if (text[pos] == '"') {
+          throw std::invalid_argument(
+              "stray quote inside unquoted CSV field");
+        }
+        field += text[pos++];
+      }
     }
-    fields.emplace_back(line.substr(start, pos - start));
-    start = pos + 1;
+    fields.push_back(field);
+    if (pos >= text.size()) return fields;
+    if (text[pos] == sep) {
+      ++pos;
+      continue;
+    }
+    // Record terminator: LF, CRLF, or bare CR.
+    if (text[pos] == '\r') {
+      ++pos;
+      if (pos < text.size() && text[pos] == '\n') ++pos;
+    } else {
+      ++pos;  // '\n'
+    }
+    return fields;
   }
-  return fields;
+}
+
+}  // namespace
+
+std::string escape_csv_field(std::string_view field, char sep) {
+  const bool needs_quoting =
+      field.find_first_of("\"\r\n") != std::string_view::npos ||
+      field.find(sep) != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvRow parse_csv_line(std::string_view line, char sep) {
+  std::size_t pos = 0;
+  CsvRow row = parse_record(line, pos, sep);
+  if (pos != line.size()) {
+    // A record terminator mid-line means the "line" held embedded newlines.
+    throw std::invalid_argument(
+        "parse_csv_line: embedded newline (multi-line records need read_csv)");
+  }
+  return row;
 }
 
 CsvFile read_csv(const std::filesystem::path& path, bool expect_header,
                  char sep) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("cannot open CSV file: " + path.string());
   }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
   CsvFile file;
-  std::string line;
+  std::size_t pos = 0;
   std::size_t arity = 0;
   bool first = true;
-  while (std::getline(in, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
-    CsvRow row = parse_csv_line(line, sep);
+  while (pos < text.size()) {
+    if (is_newline(text[pos])) {  // blank line between records
+      if (text[pos] == '\r' && pos + 1 < text.size() &&
+          text[pos + 1] == '\n') {
+        ++pos;
+      }
+      ++pos;
+      continue;
+    }
+    CsvRow row = parse_record(text, pos, sep);
     if (first) {
       arity = row.size();
       first = false;
@@ -59,7 +140,7 @@ struct CsvWriter::Impl {
 };
 
 CsvWriter::CsvWriter(const std::filesystem::path& path, char sep)
-    : impl_(new Impl{std::ofstream(path), sep}) {
+    : impl_(new Impl{std::ofstream(path, std::ios::binary), sep}) {
   if (!impl_->out) {
     delete impl_;
     throw std::runtime_error("cannot open CSV file for writing: " +
@@ -73,7 +154,7 @@ void CsvWriter::write_row(const std::vector<std::string>& fields) {
   std::ostringstream os;
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i) os << impl_->sep;
-    os << fields[i];
+    os << escape_csv_field(fields[i], impl_->sep);
   }
   impl_->out << os.str() << '\n';
 }

@@ -1,8 +1,11 @@
 #pragma once
-// Minimal CSV reading/writing for the transaction-trace dataset and for the
-// experiment harness's series dumps. Deliberately simple: no quoting or
-// embedded separators are needed by any producer in this repository, and the
-// reader rejects rather than misparses such input.
+// RFC-4180-style CSV reading/writing for the transaction-trace dataset, the
+// experiment harness's series dumps, and the observability exports. The
+// dialect: fields containing the separator, a double quote, or a newline are
+// enclosed in double quotes, and an embedded quote is doubled (""). The
+// reader is strict — a stray quote inside an unquoted field, text after a
+// closing quote, or an unterminated quoted field throws rather than
+// misparses.
 
 #include <filesystem>
 #include <string>
@@ -14,13 +17,22 @@ namespace mvcom::common {
 /// One parsed CSV row.
 using CsvRow = std::vector<std::string>;
 
-/// Parses a single line into fields separated by `sep`. Throws
-/// std::invalid_argument on quote characters (unsupported dialect).
+/// Escapes one field for CSV output: returns the field quoted (with ""
+/// escapes) when it contains `sep`, a quote, or a CR/LF; verbatim otherwise.
+[[nodiscard]] std::string escape_csv_field(std::string_view field,
+                                           char sep = ',');
+
+/// Parses a single physical line into fields separated by `sep`, honoring
+/// RFC-4180 quoting. Throws std::invalid_argument on malformed quoting or on
+/// embedded CR/LF (a quoted field spanning lines needs read_csv, which sees
+/// the whole stream).
 [[nodiscard]] CsvRow parse_csv_line(std::string_view line, char sep = ',');
 
-/// Reads an entire file. If `expect_header` is true the first row is treated
-/// as a header and returned separately. Throws std::runtime_error when the
-/// file cannot be opened or rows have inconsistent arity.
+/// Reads an entire file. Quoted fields may span physical lines. If
+/// `expect_header` is true the first record is treated as a header and
+/// returned separately. Blank lines between records are skipped. Throws
+/// std::runtime_error when the file cannot be opened or records have
+/// inconsistent arity, std::invalid_argument on malformed quoting.
 struct CsvFile {
   CsvRow header;            // empty when expect_header was false
   std::vector<CsvRow> rows;
@@ -28,7 +40,9 @@ struct CsvFile {
 [[nodiscard]] CsvFile read_csv(const std::filesystem::path& path,
                                bool expect_header, char sep = ',');
 
-/// Streaming CSV writer with RAII file ownership.
+/// Streaming CSV writer with RAII file ownership. Fields are quoted via
+/// escape_csv_field as needed, so round-trips through read_csv are lossless
+/// for arbitrary field content (including separators and newlines).
 class CsvWriter {
  public:
   explicit CsvWriter(const std::filesystem::path& path, char sep = ',');

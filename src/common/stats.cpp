@@ -44,6 +44,12 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+double mean(std::span<const double> sample) {
+  RunningStats s;
+  for (const double x : sample) s.add(x);
+  return s.mean();
+}
+
 double percentile(std::span<const double> sample, double q) {
   assert(!sample.empty());
   assert(q >= 0.0 && q <= 1.0);

@@ -36,6 +36,11 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Arithmetic mean of a sample; 0 for an empty sample (matching
+/// RunningStats::mean()). One Welford pass — benches previously hand-rolled
+/// this loop; use this instead.
+[[nodiscard]] double mean(std::span<const double> sample);
+
 /// Linear-interpolated percentile of a sample, q in [0, 1].
 /// Copies and sorts internally; intended for post-run analysis, not hot paths.
 [[nodiscard]] double percentile(std::span<const double> sample, double q);

@@ -3,7 +3,39 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mvcom::consensus {
+
+namespace {
+constexpr const char* kPhaseNames[] = {"preprepare", "prepare", "commit",
+                                       "view_change", "new_view"};
+}  // namespace
+
+void PbftCluster::set_obs(obs::ObsContext obs) {
+  obs_ = obs;
+  obs_msg_.fill(nullptr);
+  obs_view_changes_ = nullptr;
+  obs_committed_ = nullptr;
+  obs_aborted_ = nullptr;
+  if (obs::MetricsRegistry* m = obs_.metrics()) {
+    for (std::size_t p = 0; p < obs_msg_.size(); ++p) {
+      obs_msg_[p] = &m->counter("mvcom_pbft_messages_total",
+                                "PBFT protocol messages sent, by phase",
+                                {{"phase", kPhaseNames[p]}});
+    }
+    obs_view_changes_ =
+        &m->counter("mvcom_pbft_view_changes_total",
+                    "NEW-VIEW activations across all instances", {});
+    obs_committed_ =
+        &m->counter("mvcom_pbft_instances_total",
+                    "Consensus instances by outcome", {{"result", "committed"}});
+    obs_aborted_ =
+        &m->counter("mvcom_pbft_instances_total",
+                    "Consensus instances by outcome", {{"result", "aborted"}});
+  }
+}
 
 PbftCluster::PbftCluster(sim::Simulator& simulator, net::Network& network,
                          PbftConfig config, Rng rng,
@@ -46,6 +78,9 @@ void PbftCluster::set_speed_factor(std::size_t r, double factor) {
 void PbftCluster::send(std::size_t from, std::size_t to, Message msg) {
   if (replicas_[from].fault == FaultMode::kSilent) return;
   ++result_.messages;
+  if (obs::Counter* c = obs_msg_[static_cast<std::size_t>(msg.phase)]) {
+    c->inc();
+  }
   network_.send(node_of(from), node_of(to), [this, to, msg] {
     Replica& receiver = replicas_[to];
     if (receiver.fault == FaultMode::kSilent) return;
@@ -170,6 +205,18 @@ void PbftCluster::finalize(bool committed_quorum, const Digest& digest) {
     result_.committed_digest = digest;
     result_.latency = simulator_.now() - instance_start_;
   }
+  if (obs::Counter* c = committed_quorum ? obs_committed_ : obs_aborted_) {
+    c->inc();
+  }
+  if (auto* t = obs_.trace()) {
+    // Span covers start_consensus -> decision (the exporter rewinds the
+    // start timestamp by the duration).
+    t->complete("pbft", committed_quorum ? "pbft/instance" : "pbft/abort",
+                (simulator_.now() - instance_start_).seconds(),
+                {{"committed", committed_quorum ? 1.0 : 0.0},
+                 {"view_changes", static_cast<double>(result_.view_changes)},
+                 {"messages", static_cast<double>(result_.messages)}});
+  }
   simulator_.cancel(horizon_event_);
   for (Replica& rep : replicas_) simulator_.cancel(rep.view_timer);
   result_.replica_commit_times.clear();
@@ -224,6 +271,7 @@ void PbftCluster::on_view_change(std::size_t r, const Message& msg) {
   if (rep.view_changes[target].size() < quorum()) return;
   // New leader activates the view and re-proposes.
   ++result_.view_changes;
+  if (obs_view_changes_ != nullptr) obs_view_changes_->inc();
   enter_view(r, target, payload_);
   broadcast(r, Message{Phase::kNewView, target, payload_, r});
   try_prepare(r);

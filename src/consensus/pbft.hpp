@@ -21,6 +21,7 @@
 // network link delay — this is where the heterogeneous processing
 // capability of committees (paper §I) enters the two-phase latency.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -31,7 +32,12 @@
 #include "common/sim_time.hpp"
 #include "crypto/sha256.hpp"
 #include "net/network.hpp"
+#include "obs/context.hpp"
 #include "sim/simulator.hpp"
+
+namespace mvcom::obs {
+class Counter;
+}  // namespace mvcom::obs
 
 namespace mvcom::consensus {
 
@@ -110,6 +116,11 @@ class PbftCluster {
   /// Blocking convenience: start_consensus + drive the simulator until the
   /// instance decides. Other pending simulator events run too.
   PbftResult run_consensus(const Digest& payload);
+
+  /// Attaches observability: per-phase message counters, view-change and
+  /// instance-outcome counters, and a sim-clocked consensus span per
+  /// instance ('X' trace event covering start_consensus -> quorum commit).
+  void set_obs(obs::ObsContext obs);
 
  private:
   enum class Phase : std::uint8_t {
@@ -194,6 +205,13 @@ class PbftCluster {
   SimTime instance_start_ = SimTime::zero();
   sim::EventId horizon_event_{};
   std::function<void(const PbftResult&)> on_decided_;
+
+  obs::ObsContext obs_;
+  // Indexed by static_cast<std::size_t>(Phase).
+  std::array<obs::Counter*, 5> obs_msg_{};
+  obs::Counter* obs_view_changes_ = nullptr;
+  obs::Counter* obs_committed_ = nullptr;
+  obs::Counter* obs_aborted_ = nullptr;
 };
 
 }  // namespace mvcom::consensus

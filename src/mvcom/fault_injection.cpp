@@ -7,6 +7,7 @@
 
 #include "net/latency.hpp"
 #include "net/network.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace mvcom::core {
@@ -111,6 +112,15 @@ sharding::ShardSubmission forge_equivocation(
   return sharding::build_submission(honest.committee_id, std::move(entries));
 }
 
+/// Detaches the recorder's simulated clock on scope exit: the clock closure
+/// captures the epoch's simulator, which dies before the recorder does.
+struct SimClockGuard {
+  obs::TraceRecorder* trace;
+  ~SimClockGuard() {
+    if (trace != nullptr) trace->set_sim_clock(nullptr);
+  }
+};
+
 }  // namespace
 
 ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
@@ -127,6 +137,24 @@ ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
 
   EpochSupervisor supervisor(config.supervisor, root());
   ChaosReport report;
+
+  // Observability wiring. The sim clock must be detached before `simulator`
+  // goes out of scope; the guard handles every exit path.
+  obs::TraceRecorder* trace = config.obs.trace();
+  SimClockGuard clock_guard{trace};
+  if (trace != nullptr) {
+    trace->set_sim_clock(
+        [&simulator] { return simulator.now().seconds(); });
+  }
+  simulator.set_obs(config.obs);
+  network.set_obs(config.obs);
+  supervisor.set_obs(config.obs);
+  if (trace != nullptr) {
+    trace->instant("epoch", "epoch/start",
+                   {{"committees", static_cast<double>(committees.size())},
+                    {"ddl_s", config.ddl_seconds},
+                    {"planned_faults", static_cast<double>(plan.events.size())}});
+  }
 
   // Committee i answers pings on node i.
   std::vector<PendingSubmission> pending(committees.size());
@@ -197,6 +225,15 @@ ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
     if (event.kind != FaultKind::kMessageLossBurst &&
         i >= committees.size()) {
       continue;  // victim not part of this run
+    }
+    if (trace != nullptr) {
+      // One sim-clocked instant per injected fault, at injection time.
+      simulator.schedule_at(common::SimTime(event.at_seconds), [&, event] {
+        trace->instant("fault", to_string(event.kind),
+                       {{"committee_id", static_cast<double>(event.committee_id)},
+                        {"magnitude", event.magnitude},
+                        {"duration_s", event.duration_seconds}});
+      });
     }
     switch (event.kind) {
       case FaultKind::kCrash:
@@ -295,6 +332,22 @@ ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
 
   report.final_decision = supervisor.decide();
   sample();  // include the DDL instant itself in the timeline/criterion
+  if (trace != nullptr) {
+    trace->instant(
+        "epoch", "epoch/decide",
+        {{"tier", static_cast<double>(report.final_decision.tier)},
+         {"feasible", report.final_decision.decision.feasible ? 1.0 : 0.0},
+         {"utility", report.final_decision.decision.utility},
+         {"permitted", static_cast<double>(
+                           report.final_decision.decision.permitted_ids.size())}});
+    // The whole epoch as one span (complete() records at the end; the
+    // exporter rewinds the start by the duration, so this bar covers
+    // [0, now] on the sim-time track in Perfetto).
+    trace->complete(
+        "epoch", "epoch/span", simulator.now().seconds(),
+        {{"tier", static_cast<double>(report.final_decision.tier)},
+         {"utility", report.final_decision.decision.utility}});
+  }
   report.failures = supervisor.failures();
   report.quarantined_ids = supervisor.quarantined_ids();
   report.banned_ids = supervisor.banned_ids();

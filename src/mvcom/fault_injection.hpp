@@ -22,6 +22,7 @@
 
 #include "common/rng.hpp"
 #include "mvcom/supervisor.hpp"
+#include "obs/context.hpp"
 #include "txn/workload.hpp"
 
 namespace mvcom::core {
@@ -93,6 +94,12 @@ struct ChaosConfig {
   double explore_tick_seconds = 20.0;  // SE exploration pump + sampling
   std::size_t iterations_per_tick = 40;
   double link_latency_mean_seconds = 2.0;
+  /// Observability sinks. When set, the harness wires every component
+  /// (simulator, network, supervisor, SE scheduler) to them, attaches the
+  /// simulated clock to the trace recorder for the duration of the run
+  /// (detached again before the simulator dies), and records epoch
+  /// lifecycle and fault-injection events.
+  obs::ObsContext obs{};
 };
 
 /// One sampled point of the run (taken at every explore tick).

@@ -5,6 +5,9 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace mvcom::core {
 
 OnlineCommitteeScheduler::OnlineCommitteeScheduler(
@@ -53,15 +56,48 @@ void OnlineCommitteeScheduler::try_bootstrap() {
   if (total_txs_ <= config_.capacity) return;  // capacity slack: nothing yet
   // Alg. 1 line 1 satisfied: start exploring.
   scheduler_.emplace(build_instance(), config_.se, seed_);
+  scheduler_->set_obs(obs_);
+  if (auto* t = obs_.trace()) {
+    t->instant("epoch", "epoch/bootstrap",
+               {{"committees", static_cast<double>(reports_.size())},
+                {"total_txs", static_cast<double>(total_txs_)}});
+  }
+}
+
+void OnlineCommitteeScheduler::set_obs(obs::ObsContext obs) {
+  obs_ = obs;
+  obs_reports_accepted_ = nullptr;
+  obs_reports_refused_ = nullptr;
+  obs_failures_ = nullptr;
+  obs_recoveries_ = nullptr;
+  if (obs::MetricsRegistry* m = obs_.metrics()) {
+    obs_reports_accepted_ =
+        &m->counter("mvcom_online_reports_total",
+                    "Shard reports handled by the online scheduler",
+                    {{"result", "accepted"}});
+    obs_reports_refused_ =
+        &m->counter("mvcom_online_reports_total",
+                    "Shard reports handled by the online scheduler",
+                    {{"result", "refused"}});
+    obs_failures_ = &m->counter("mvcom_online_failures_total",
+                                "Committee failures applied (leave events)");
+    obs_recoveries_ = &m->counter("mvcom_online_recoveries_total",
+                                  "Committee recoveries re-admitted");
+  }
+  if (scheduler_) scheduler_->set_obs(obs_);
 }
 
 bool OnlineCommitteeScheduler::on_report(const txn::ShardReport& report) {
-  if (!listening_) return false;
+  const auto refused = [this] {
+    if (obs_reports_refused_ != nullptr) obs_reports_refused_->inc();
+    return false;
+  };
+  if (!listening_) return refused();
   const auto duplicate = std::any_of(
       reports_.begin(), reports_.end(), [&](const txn::ShardReport& r) {
         return r.committee_id == report.committee_id;
       });
-  if (duplicate) return false;
+  if (duplicate) return refused();
   // Refuse a report whose claimed shard size would wrap the 64-bit Σ s
   // bookkeeping (EpochInstance construction rejects such sets outright; an
   // adversarial committee must not be able to crash the listening loop).
@@ -69,10 +105,11 @@ bool OnlineCommitteeScheduler::on_report(const txn::ShardReport& report) {
   // so admission is O(|I|) per arrival instead of O(|I|²) overall.
   if (report.tx_count >
       std::numeric_limits<std::uint64_t>::max() - total_txs_) {
-    return false;
+    return refused();
   }
   reports_.push_back(report);
   total_txs_ += report.tx_count;
+  if (obs_reports_accepted_ != nullptr) obs_reports_accepted_->inc();
   if (scheduler_) {
     scheduler_->add_committee(
         {report.committee_id, report.tx_count, report.two_phase_latency()});
@@ -94,6 +131,7 @@ void OnlineCommitteeScheduler::on_failure(std::uint32_t committee_id) {
   if (it == reports_.end()) return;
   total_txs_ -= it->tx_count;
   reports_.erase(it);
+  if (obs_failures_ != nullptr) obs_failures_->inc();
   if (std::find(failed_ids_.begin(), failed_ids_.end(), committee_id) ==
       failed_ids_.end()) {
     failed_ids_.push_back(committee_id);
@@ -122,7 +160,10 @@ bool OnlineCommitteeScheduler::on_recovery(const txn::ShardReport& report) {
   listening_ = true;
   const bool accepted = on_report(report);
   listening_ = was_listening && listening_;
-  if (accepted) failed_ids_.erase(failed_it);
+  if (accepted) {
+    failed_ids_.erase(failed_it);
+    if (obs_recoveries_ != nullptr) obs_recoveries_->inc();
+  }
   return accepted;
 }
 

@@ -101,6 +101,10 @@ class OnlineCommitteeScheduler {
   /// Produces the current best selection (the epoch's final answer).
   [[nodiscard]] SchedulingDecision decide() const;
 
+  /// Attaches observability; propagated into the SE scheduler (including
+  /// one created by a later bootstrap).
+  void set_obs(obs::ObsContext obs);
+
  private:
   void try_bootstrap();
   [[nodiscard]] EpochInstance build_instance() const;
@@ -114,6 +118,12 @@ class OnlineCommitteeScheduler {
   std::uint64_t total_txs_ = 0;            // Σ tx_count over reports_ (cached)
   std::vector<std::uint32_t> failed_ids_;  // ids eligible for on_recovery
   std::optional<SeScheduler> scheduler_;
+
+  obs::ObsContext obs_;
+  obs::Counter* obs_reports_accepted_ = nullptr;
+  obs::Counter* obs_reports_refused_ = nullptr;
+  obs::Counter* obs_failures_ = nullptr;
+  obs::Counter* obs_recoveries_ = nullptr;
 };
 
 }  // namespace mvcom::core

@@ -8,6 +8,8 @@
 #include <stdexcept>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mvcom::core {
 namespace {
@@ -158,11 +160,16 @@ void SeExplorer::step_chain_parallel() {
       new_txs = sol.txs - txs_[out] + txs_[in];
       ok = new_txs <= capacity;
     }
-    if (!ok) continue;
+    if (!ok) {
+      if constexpr (obs::kEnabled) ++obs_tally_.infeasible;
+      continue;
+    }
     const double delta = gain_[in] - gain_[out];
     if (delta < 0.0 && rng_.uniform01() >= std::exp(beta * delta)) {
+      if constexpr (obs::kEnabled) ++obs_tally_.rejects;
       continue;  // rejected downhill move
     }
+    if constexpr (obs::kEnabled) ++obs_tally_.accepts;
     sol.set.swap(out, in);
     sol.txs = new_txs;
     sol.utility += delta;
@@ -206,7 +213,11 @@ void SeExplorer::step_timer_race() {
       new_txs = sol.txs - txs_[out] + txs_[in];
       ok = new_txs <= capacity;
     }
-    if (!ok) continue;
+    if (!ok) {
+      if constexpr (obs::kEnabled) ++obs_tally_.infeasible;
+      continue;
+    }
+    if constexpr (obs::kEnabled) ++obs_tally_.timer_draws;
 
     const double delta = gain_[in] - gain_[out];
     // log T = τ − ½β(U_{f'} − U_f) − ln(|I| − n) + ln(Exp(1) draw). The
@@ -221,6 +232,7 @@ void SeExplorer::step_timer_race() {
   }
 
   if (winner.log_timer == kInf) return;  // no solution could move this round
+  if constexpr (obs::kEnabled) ++obs_tally_.accepts;
   SolutionState& sol = solutions_[winner.n_index];
   sol.set.swap(winner.out, winner.in);
   sol.txs = winner.new_txs;
@@ -422,7 +434,89 @@ void SeScheduler::advance(std::size_t k) {
     step_explorers(block, nullptr, nullptr);
     iteration_ += block;
     k -= block;
-    maybe_share();
+    const bool shared = maybe_share();
+    flush_obs(block, shared);
+  }
+}
+
+void SeScheduler::set_obs(obs::ObsContext obs) {
+  obs_ = obs;
+  obs_iterations_ = nullptr;
+  obs_accepts_ = nullptr;
+  obs_rejects_ = nullptr;
+  obs_infeasible_ = nullptr;
+  obs_timer_draws_ = nullptr;
+  obs_shares_ = nullptr;
+  obs_joins_ = nullptr;
+  obs_leaves_ = nullptr;
+  obs_best_utility_ = nullptr;
+  obs::MetricsRegistry* m = obs_.metrics();
+  if (m == nullptr) return;
+  obs_iterations_ = &m->counter("mvcom_se_iterations_total",
+                                "SE global iterations advanced");
+  obs_accepts_ =
+      &m->counter("mvcom_se_transitions_total",
+                  "SE chain transitions by Eq.-(7) outcome",
+                  {{"result", "accept"}});
+  obs_rejects_ =
+      &m->counter("mvcom_se_transitions_total",
+                  "SE chain transitions by Eq.-(7) outcome",
+                  {{"result", "reject"}});
+  obs_infeasible_ =
+      &m->counter("mvcom_se_transitions_total",
+                  "SE chain transitions by Eq.-(7) outcome",
+                  {{"result", "infeasible"}});
+  obs_timer_draws_ = &m->counter("mvcom_se_timer_draws_total",
+                                 "Eq.-(8) exponential timer draws");
+  obs_shares_ = &m->counter("mvcom_se_shares_total",
+                            "Thread-cooperation share points executed");
+  obs_joins_ = &m->counter("mvcom_se_rebinds_total",
+                           "Explorer rebinds after committee dynamics",
+                           {{"kind", "join"}});
+  obs_leaves_ = &m->counter("mvcom_se_rebinds_total",
+                            "Explorer rebinds after committee dynamics",
+                            {{"kind", "leave"}});
+  obs_best_utility_ = &m->gauge("mvcom_se_best_utility",
+                                "Best feasible utility across Γ explorers");
+}
+
+void SeScheduler::flush_obs(std::size_t block, bool shared) {
+  if (!obs_) return;
+  obs::TraceRecorder* trace = obs_.trace();
+  SeObsCounters total;
+  for (std::size_t e = 0; e < explorers_.size(); ++e) {
+    SeObsCounters& tally = explorers_[e].obs_tally_;
+    total += tally;
+    if (trace != nullptr) {
+      // Per-Γ-thread tallies as one counter series per explorer track.
+      trace->counter("se", "se/explorer",
+                     {{"accepts", static_cast<double>(tally.accepts)},
+                      {"rejects", static_cast<double>(tally.rejects)},
+                      {"infeasible", static_cast<double>(tally.infeasible)},
+                      {"timer_draws", static_cast<double>(tally.timer_draws)}},
+                     static_cast<std::uint32_t>(e));
+    }
+    tally.reset();
+  }
+  if (obs_iterations_ != nullptr) {
+    obs_iterations_->add(block);
+    obs_accepts_->add(total.accepts);
+    obs_rejects_->add(total.rejects);
+    obs_infeasible_->add(total.infeasible);
+    obs_timer_draws_->add(total.timer_draws);
+    if (shared) obs_shares_->inc();
+  }
+  const double utility = current_utility();
+  if (obs_best_utility_ != nullptr) obs_best_utility_->set(utility);
+  if (trace != nullptr) {
+    trace->counter("se", "se/progress",
+                   {{"iteration", static_cast<double>(iteration_)},
+                    {"best_utility", utility}});
+    if (shared) {
+      trace->instant("se", "se/share",
+                     {{"iteration", static_cast<double>(iteration_)},
+                      {"best_utility", utility}});
+    }
   }
 }
 
@@ -476,6 +570,7 @@ SeResult SeScheduler::run() {
     iteration_ += block;
     remaining -= block;
     const bool shared = maybe_share();
+    flush_obs(block, shared);
 
     for (std::size_t t = 0; t < block && !done; ++t) {
       // Adoption at a share point can only raise utilities, and the serial
@@ -546,6 +641,12 @@ void SeScheduler::add_committee(const Committee& committee) {
   instance_ = EpochInstance(std::move(committees), instance_.alpha(),
                             instance_.capacity(), instance_.n_min());
   rebind_all(std::nullopt);
+  if (obs_joins_ != nullptr) obs_joins_->inc();
+  if (auto* t = obs_.trace()) {
+    t->instant("se", "se/committee_join",
+               {{"committees", static_cast<double>(instance_.size())},
+                {"iteration", static_cast<double>(iteration_)}});
+  }
 }
 
 void SeScheduler::remove_committee(std::uint32_t committee_id) {
@@ -564,6 +665,13 @@ void SeScheduler::remove_committee(std::uint32_t committee_id) {
   instance_ = EpochInstance(std::move(survivors), instance_.alpha(),
                             instance_.capacity(), instance_.n_min());
   rebind_all(removed_index);
+  if (obs_leaves_ != nullptr) obs_leaves_->inc();
+  if (auto* t = obs_.trace()) {
+    t->instant("se", "se/committee_leave",
+               {{"committee_id", static_cast<double>(committee_id)},
+                {"committees", static_cast<double>(instance_.size())},
+                {"iteration", static_cast<double>(iteration_)}});
+  }
 }
 
 }  // namespace mvcom::core

@@ -46,10 +46,16 @@
 #include "common/rng.hpp"
 #include "mvcom/problem.hpp"
 #include "mvcom/swap_set.hpp"
+#include "obs/context.hpp"
 
 namespace mvcom::common {
 class ThreadPool;
 }  // namespace mvcom::common
+
+namespace mvcom::obs {
+class Counter;
+class Gauge;
+}  // namespace mvcom::obs
 
 namespace mvcom::core {
 
@@ -141,6 +147,28 @@ struct SeBlockStats {
   std::vector<Snapshot> snapshots;
 };
 
+/// Plain per-explorer observability tallies for one barrier-to-barrier
+/// block. The SE inner loop is hotter than even a relaxed atomic RMW, so
+/// each explorer increments these thread-private integers (compiled out
+/// entirely when MVCOM_OBS=OFF) and the scheduler folds them into the
+/// metrics registry at the cooperation barrier — the same merge discipline
+/// as SeBlockStats.
+struct SeObsCounters {
+  std::uint64_t accepts = 0;      // applied transitions (Eq. 7 accepted)
+  std::uint64_t rejects = 0;      // Metropolis-rejected downhill proposals
+  std::uint64_t infeasible = 0;   // proposal retries exhausted (Cons. 4)
+  std::uint64_t timer_draws = 0;  // Eq.-(8) log-timer draws (timer race)
+
+  void reset() noexcept { *this = SeObsCounters{}; }
+  SeObsCounters& operator+=(const SeObsCounters& o) noexcept {
+    accepts += o.accepts;
+    rejects += o.rejects;
+    infeasible += o.infeasible;
+    timer_draws += o.timer_draws;
+    return *this;
+  }
+};
+
 /// One independent exploration thread: the solution family {f_n} + timers.
 class SeExplorer {
  public:
@@ -204,6 +232,7 @@ class SeExplorer {
   std::vector<double> gain_;
   std::vector<std::uint64_t> txs_;
   std::vector<double> log_remaining_;  // ln(|I| − n) per solution index
+  SeObsCounters obs_tally_;  // block-local; scheduler merges at the barrier
 
   friend class SeScheduler;
 };
@@ -249,6 +278,10 @@ class SeScheduler {
   /// Removes by committee id (e.g. on failure). No-op for unknown ids.
   void remove_committee(std::uint32_t committee_id);
 
+  /// Attaches observability. Registers the SE metric families and starts
+  /// emitting barrier-granular trace events; a default context detaches.
+  void set_obs(obs::ObsContext obs);
+
  private:
   void rebind_all(std::optional<std::uint32_t> removed_index);
 
@@ -267,11 +300,27 @@ class SeScheduler {
   /// share actually ran this iteration.
   bool maybe_share();
 
+  /// Folds every explorer's SeObsCounters into the registry and emits the
+  /// barrier trace events. Runs under the barrier (workers quiescent).
+  void flush_obs(std::size_t block, bool shared);
+
   EpochInstance instance_;
   SeParams params_;
   std::vector<SeExplorer> explorers_;
   std::size_t iteration_ = 0;
   std::unique_ptr<common::ThreadPool> pool_;  // non-null iff parallel mode
+
+  obs::ObsContext obs_;
+  // Cached instruments (registered once by set_obs; updates are lock-free).
+  obs::Counter* obs_iterations_ = nullptr;
+  obs::Counter* obs_accepts_ = nullptr;
+  obs::Counter* obs_rejects_ = nullptr;
+  obs::Counter* obs_infeasible_ = nullptr;
+  obs::Counter* obs_timer_draws_ = nullptr;
+  obs::Counter* obs_shares_ = nullptr;
+  obs::Counter* obs_joins_ = nullptr;
+  obs::Counter* obs_leaves_ = nullptr;
+  obs::Gauge* obs_best_utility_ = nullptr;
 };
 
 }  // namespace mvcom::core

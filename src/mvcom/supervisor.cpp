@@ -7,6 +7,8 @@
 #include "analysis/theory.hpp"
 #include "baselines/greedy.hpp"
 #include "baselines/solver.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mvcom::core {
 
@@ -120,7 +122,77 @@ EpochSupervisor::EpochSupervisor(SupervisorConfig config, std::uint64_t seed)
   }
 }
 
+void EpochSupervisor::set_obs(obs::ObsContext obs) {
+  obs_ = obs;
+  obs_admission_.fill(nullptr);
+  obs_tier_.fill(nullptr);
+  obs_strikes_ = nullptr;
+  obs_failures_ = nullptr;
+  obs_recoveries_ = nullptr;
+  obs_probe_ok_ = nullptr;
+  obs_probe_missed_ = nullptr;
+  obs_ping_rtt_ = nullptr;
+  if (obs::MetricsRegistry* m = obs_.metrics()) {
+    constexpr std::array<Admission, 6> kAdmissions = {
+        Admission::kAdmitted,  Admission::kReadmitted,
+        Admission::kQuarantined, Admission::kBanned,
+        Admission::kDuplicate, Admission::kRefused};
+    for (const Admission a : kAdmissions) {
+      obs_admission_[static_cast<std::size_t>(a)] =
+          &m->counter("mvcom_supervisor_submissions_total",
+                      "Shard submissions by verified-admission outcome",
+                      {{"outcome", to_string(a)}});
+    }
+    constexpr std::array<DecisionTier, 5> kTiers = {
+        DecisionTier::kSeBest, DecisionTier::kGreedyRepair,
+        DecisionTier::kGreedyScratch, DecisionTier::kPermitAll,
+        DecisionTier::kInfeasible};
+    for (const DecisionTier t : kTiers) {
+      obs_tier_[static_cast<std::size_t>(t)] =
+          &m->counter("mvcom_supervisor_decisions_total",
+                      "Degradation-ladder decisions by winning tier",
+                      {{"tier", to_string(t)}});
+    }
+    obs_strikes_ = &m->counter("mvcom_supervisor_strikes_total",
+                               "Verification failures and equivocations");
+    obs_failures_ = &m->counter("mvcom_supervisor_failures_total",
+                                "Committee failures declared");
+    obs_recoveries_ = &m->counter("mvcom_supervisor_recoveries_total",
+                                  "Committee recoveries declared");
+    obs_probe_ok_ = &m->counter("mvcom_supervisor_probes_total",
+                                "Heartbeat probes by outcome",
+                                {{"result", "ok"}});
+    obs_probe_missed_ = &m->counter("mvcom_supervisor_probes_total",
+                                    "Heartbeat probes by outcome",
+                                    {{"result", "missed"}});
+    obs_ping_rtt_ = &m->histogram(
+        "mvcom_supervisor_ping_rtt_seconds",
+        "Sampled heartbeat round-trip times (answered probes only)", {},
+        {.lowest = 1e-3, .growth = 2.0, .count = 18});
+  }
+  scheduler_.set_obs(obs_);
+}
+
 Admission EpochSupervisor::on_submission(
+    const sharding::ShardSubmission& submission, double formation_latency,
+    double consensus_latency) {
+  const auto admitted = [this, &submission](Admission a) {
+    if (obs::Counter* c = obs_admission_[static_cast<std::size_t>(a)]) {
+      c->inc();
+    }
+    if (auto* t = obs_.trace()) {
+      t->instant("admission", to_string(a),
+                 {{"committee_id", static_cast<double>(submission.committee_id)},
+                  {"claimed_txs",
+                   static_cast<double>(submission.claimed_tx_count)}});
+    }
+    return a;
+  };
+  return admitted(admit_submission(submission, formation_latency,
+                                   consensus_latency));
+}
+
+Admission EpochSupervisor::admit_submission(
     const sharding::ShardSubmission& submission, double formation_latency,
     double consensus_latency) {
   CommitteeHealth& h = health_[submission.committee_id];
@@ -173,6 +245,13 @@ void EpochSupervisor::strike(std::uint32_t committee_id,
   ++health.strikes;
   health.quarantined = true;
   if (health.strikes >= config_.max_strikes) health.banned = true;
+  if (obs_strikes_ != nullptr) obs_strikes_->inc();
+  if (auto* t = obs_.trace()) {
+    t->instant("supervisor", "supervisor/strike",
+               {{"committee_id", static_cast<double>(committee_id)},
+                {"strikes", static_cast<double>(health.strikes)},
+                {"banned", health.banned ? 1.0 : 0.0}});
+  }
   if (health.admitted) {
     // Its previously admitted report can no longer be trusted either.
     scheduler_.on_failure(committee_id);
@@ -207,6 +286,14 @@ void EpochSupervisor::on_failure(std::uint32_t committee_id) {
   record.within_bound =
       std::abs(record.utility_before - record.utility_after) <=
       record.perturbation_bound + kBoundSlack;
+  if (obs_failures_ != nullptr) obs_failures_->inc();
+  if (auto* t = obs_.trace()) {
+    t->instant("supervisor", "supervisor/failure",
+               {{"committee_id", static_cast<double>(committee_id)},
+                {"utility_before", record.utility_before},
+                {"utility_after", record.utility_after},
+                {"perturbation_bound", record.perturbation_bound}});
+  }
   failures_.push_back(record);
 }
 
@@ -217,6 +304,11 @@ bool EpochSupervisor::on_recovery(std::uint32_t committee_id) {
   h.failed = false;
   h.missed_pings = 0;
   ++recoveries_detected_;
+  if (obs_recoveries_ != nullptr) obs_recoveries_->inc();
+  if (auto* t = obs_.trace()) {
+    t->instant("supervisor", "supervisor/recovery",
+               {{"committee_id", static_cast<double>(committee_id)}});
+  }
   if (h.banned || h.quarantined) return false;  // alive, but not trusted
   const auto report_it = last_verified_.find(committee_id);
   if (report_it == last_verified_.end()) return false;  // never submitted
@@ -279,6 +371,18 @@ void EpochSupervisor::probe(std::uint32_t committee_id) {
   const bool missed = lost || rtt.is_infinite() ||
                       rtt.seconds() > config_.ping_timeout_seconds;
   if (missed) {
+    if (obs_probe_missed_ != nullptr) obs_probe_missed_->inc();
+    if (auto* t = obs_.trace()) {
+      t->instant("hb", "hb/probe_missed",
+                 {{"committee_id", static_cast<double>(committee_id)},
+                  {"missed_pings", static_cast<double>(h.missed_pings + 1)},
+                  {"lost", lost ? 1.0 : 0.0}});
+    }
+  } else {
+    if (obs_probe_ok_ != nullptr) obs_probe_ok_->inc();
+    if (obs_ping_rtt_ != nullptr) obs_ping_rtt_->observe(rtt.seconds());
+  }
+  if (missed) {
     ++h.missed_pings;
     if (!h.failed &&
         h.missed_pings >= config_.missed_pings_before_failure) {
@@ -303,11 +407,32 @@ double EpochSupervisor::now_seconds() const {
 }
 
 double EpochSupervisor::best_ladder_utility() const {
-  const SupervisedDecision d = decide();
+  // run_ladder, not decide: the Theorem-2 bookkeeping probes the ladder
+  // internally and must not show up as user-visible decision events.
+  const SupervisedDecision d = run_ladder();
   return d.decision.feasible ? d.decision.utility : 0.0;
 }
 
 SupervisedDecision EpochSupervisor::decide() const {
+  // The ladder walk below is pure; record the winning rung on the way out.
+  const auto recorded = [this](SupervisedDecision out) {
+    if (obs::Counter* c = obs_tier_[static_cast<std::size_t>(out.tier)]) {
+      c->inc();
+    }
+    if (auto* t = obs_.trace()) {
+      t->instant("ladder", to_string(out.tier),
+                 {{"tier", static_cast<double>(out.tier)},
+                  {"feasible", out.decision.feasible ? 1.0 : 0.0},
+                  {"utility", out.decision.utility},
+                  {"permitted",
+                   static_cast<double>(out.decision.permitted_ids.size())}});
+    }
+    return out;
+  };
+  return recorded(run_ladder());
+}
+
+SupervisedDecision EpochSupervisor::run_ladder() const {
   SupervisedDecision out;
   for (const FailureRecord& record : failures_) {
     out.perturbation_bound =

@@ -41,6 +41,7 @@
 //     surfaced in the decision, so callers can check that the observed
 //     utility dip respects the theory.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -52,6 +53,10 @@
 #include "net/network.hpp"
 #include "sharding/verification.hpp"
 #include "sim/simulator.hpp"
+
+namespace mvcom::obs {
+class LogHistogram;
+}  // namespace mvcom::obs
 
 namespace mvcom::core {
 
@@ -175,8 +180,13 @@ class EpochSupervisor {
   void register_committee_node(std::uint32_t committee_id, net::NodeId node);
 
   /// The graceful-degradation ladder (header comment). Const and
-  /// side-effect-free: callable at any instant, not only the DDL.
+  /// side-effect-free on supervision state: callable at any instant, not
+  /// only the DDL (attached observability instruments do record each call).
   [[nodiscard]] SupervisedDecision decide() const;
+
+  /// Attaches observability; propagated into the wrapped online scheduler
+  /// (and through it, the SE scheduler).
+  void set_obs(obs::ObsContext obs);
 
   // -- Introspection -------------------------------------------------------
   [[nodiscard]] const OnlineCommitteeScheduler& scheduler() const noexcept {
@@ -197,9 +207,16 @@ class EpochSupervisor {
   }
 
  private:
+  /// on_submission's admission logic; the public wrapper adds the
+  /// observability record of the outcome.
+  Admission admit_submission(const sharding::ShardSubmission& submission,
+                             double formation_latency,
+                             double consensus_latency);
   /// One verification failure or equivocation: increments the strike count,
   /// quarantines, evicts a live report, bans past the strike budget.
   void strike(std::uint32_t committee_id, CommitteeHealth& health);
+  /// decide()'s pure ladder walk; the public wrapper records the outcome.
+  [[nodiscard]] SupervisedDecision run_ladder() const;
   /// Best utility the ladder can certify right now (0 when infeasible).
   [[nodiscard]] double best_ladder_utility() const;
   void schedule_probe(std::uint32_t committee_id, double delay_seconds);
@@ -222,6 +239,17 @@ class EpochSupervisor {
   net::Network* network_ = nullptr;
   net::NodeId observer_ = 0;
   std::map<std::uint32_t, net::NodeId> node_of_;
+
+  obs::ObsContext obs_;
+  // Cached instruments, indexed by the enum values they label.
+  std::array<obs::Counter*, 6> obs_admission_{};  // per Admission outcome
+  std::array<obs::Counter*, 5> obs_tier_{};       // per DecisionTier rung
+  obs::Counter* obs_strikes_ = nullptr;
+  obs::Counter* obs_failures_ = nullptr;
+  obs::Counter* obs_recoveries_ = nullptr;
+  obs::Counter* obs_probe_ok_ = nullptr;
+  obs::Counter* obs_probe_missed_ = nullptr;
+  obs::LogHistogram* obs_ping_rtt_ = nullptr;
 };
 
 }  // namespace mvcom::core

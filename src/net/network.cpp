@@ -2,8 +2,37 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mvcom::net {
+
+void Network::set_obs(obs::ObsContext obs) {
+  obs_ = obs;
+  obs_sent_ = nullptr;
+  obs_pings_ = nullptr;
+  obs_dropped_failed_ = nullptr;
+  obs_dropped_loss_ = nullptr;
+  obs_delay_ = nullptr;
+  if (obs::MetricsRegistry* m = obs_.metrics()) {
+    obs_sent_ = &m->counter("mvcom_net_messages_total",
+                            "Network messages by outcome",
+                            {{"outcome", "sent"}});
+    obs_pings_ = &m->counter("mvcom_net_pings_total",
+                             "Round-trip probes sampled via ping_rtt");
+    obs_dropped_failed_ =
+        &m->counter("mvcom_net_messages_total", "Network messages by outcome",
+                    {{"outcome", "dropped_endpoint_failed"}});
+    obs_dropped_loss_ =
+        &m->counter("mvcom_net_messages_total", "Network messages by outcome",
+                    {{"outcome", "dropped_loss"}});
+    obs_delay_ = &m->histogram("mvcom_net_delay_seconds",
+                               "Sampled one-way message delays", {},
+                               {.lowest = 1e-3, .growth = 2.0, .count = 18});
+  }
+}
 
 Network::Network(sim::Simulator& simulator, Rng rng,
                  std::shared_ptr<const LatencyModel> link_model,
@@ -44,16 +73,43 @@ void Network::set_loss_probability(double p) {
 }
 
 bool Network::send(NodeId from, NodeId to, std::function<void()> on_deliver) {
-  if (failed_.at(from) || failed_.at(to)) {
+  const auto dropped = [&](obs::Counter* counter, const char* why) {
     ++dropped_;
+    if (counter != nullptr) counter->inc();
+    if (auto* t = obs_.trace()) {
+      t->instant("net", why,
+                 {{"from", static_cast<double>(from)},
+                  {"to", static_cast<double>(to)}});
+    }
     return false;
+  };
+  if (failed_.at(from) || failed_.at(to)) {
+    return dropped(obs_dropped_failed_, "net/drop_endpoint_failed");
   }
   if (loss_ > 0.0 && rng_.bernoulli(loss_)) {
-    ++dropped_;
-    return false;
+    return dropped(obs_dropped_loss_, "net/drop_loss");
   }
   ++sent_;
-  simulator_.schedule_after(sample_delay(from, to), std::move(on_deliver));
+  if (obs_sent_ != nullptr) obs_sent_->inc();
+  const SimTime delay = sample_delay(from, to);
+  if (obs_delay_ != nullptr) obs_delay_->observe(delay.seconds());
+  if (obs_.trace() != nullptr) {
+    // Wrap delivery so the trace shows the in-flight span: an 'X' event of
+    // `delay` seconds recorded at delivery time (the exporter rewinds the
+    // start timestamp by the duration).
+    simulator_.schedule_after(
+        delay, [this, from, to, delay, cb = std::move(on_deliver)] {
+          if (auto* t = obs_.trace()) {
+            t->complete("net", "net/deliver", delay.seconds(),
+                        {{"from", static_cast<double>(from)},
+                         {"to", static_cast<double>(to)},
+                         {"delay_s", delay.seconds()}});
+          }
+          cb();
+        });
+  } else {
+    simulator_.schedule_after(delay, std::move(on_deliver));
+  }
   return true;
 }
 
@@ -67,8 +123,20 @@ void Network::broadcast(
 }
 
 SimTime Network::ping_rtt(NodeId from, NodeId to) {
-  if (failed_.at(from) || failed_.at(to)) return SimTime::infinity();
-  return sample_delay(from, to) + sample_delay(to, from);
+  const auto traced = [&](SimTime rtt) {
+    if (obs_pings_ != nullptr) obs_pings_->inc();
+    if (auto* t = obs_.trace()) {
+      t->instant("net", "net/ping",
+                 {{"from", static_cast<double>(from)},
+                  {"to", static_cast<double>(to)},
+                  {"rtt_s", rtt.is_infinite() ? -1.0 : rtt.seconds()}});
+    }
+    return rtt;
+  };
+  if (failed_.at(from) || failed_.at(to)) {
+    return traced(SimTime::infinity());
+  }
+  return traced(sample_delay(from, to) + sample_delay(to, from));
 }
 
 }  // namespace mvcom::net

@@ -16,7 +16,13 @@
 #include "common/rng.hpp"
 #include "common/sim_time.hpp"
 #include "net/latency.hpp"
+#include "obs/context.hpp"
 #include "sim/simulator.hpp"
+
+namespace mvcom::obs {
+class Counter;
+class LogHistogram;
+}  // namespace mvcom::obs
 
 namespace mvcom::net {
 
@@ -74,6 +80,10 @@ class Network {
     return dropped_;
   }
 
+  /// Attaches observability: message counters, a one-way delay histogram,
+  /// and per-message deliver/drop trace events (sim-clocked).
+  void set_obs(obs::ObsContext obs);
+
  private:
   sim::Simulator& simulator_;
   Rng rng_;
@@ -83,6 +93,13 @@ class Network {
   double loss_ = 0.0;
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
+
+  obs::ObsContext obs_;
+  obs::Counter* obs_sent_ = nullptr;
+  obs::Counter* obs_pings_ = nullptr;
+  obs::Counter* obs_dropped_failed_ = nullptr;
+  obs::Counter* obs_dropped_loss_ = nullptr;
+  obs::LogHistogram* obs_delay_ = nullptr;
 };
 
 }  // namespace mvcom::net

@@ -1,0 +1,51 @@
+#pragma once
+// ObsContext — the handle instrumented components carry. Observability is
+// explicitly passed (no singletons): a component that should emit metrics or
+// trace events receives an ObsContext holding non-owning pointers to a
+// MetricsRegistry and/or a TraceRecorder; a default-constructed context is
+// inert and every instrumentation site is written as
+//
+//   if (auto* m = obs_.metrics()) m->...;
+//   if (auto* t = obs_.trace())   t->...;
+//
+// When the build disables observability (CMake -DMVCOM_OBS=OFF, which
+// defines MVCOM_OBS_ENABLED=0 on every target linking mvcom_obs), the
+// accessors constant-fold to nullptr and kEnabled to false, so the branches
+// above — and any `if constexpr (obs::kEnabled)` hot-path counters — compile
+// to true no-ops. The class definitions themselves are identical in both
+// modes; only this one constant differs, which keeps the ODR surface of the
+// build flag to a pair of trivially-foldable inline accessors.
+
+#ifndef MVCOM_OBS_ENABLED
+#define MVCOM_OBS_ENABLED 1
+#endif
+
+namespace mvcom::obs {
+
+/// True when the build compiles instrumentation in (the default).
+inline constexpr bool kEnabled = MVCOM_OBS_ENABLED != 0;
+
+class MetricsRegistry;
+class TraceRecorder;
+
+struct ObsContext {
+  constexpr ObsContext() noexcept = default;
+  constexpr ObsContext(MetricsRegistry* metrics, TraceRecorder* trace) noexcept
+      : metrics_(metrics), trace_(trace) {}
+
+  [[nodiscard]] constexpr MetricsRegistry* metrics() const noexcept {
+    return kEnabled ? metrics_ : nullptr;
+  }
+  [[nodiscard]] constexpr TraceRecorder* trace() const noexcept {
+    return kEnabled ? trace_ : nullptr;
+  }
+  [[nodiscard]] constexpr explicit operator bool() const noexcept {
+    return metrics() != nullptr || trace() != nullptr;
+  }
+
+ private:
+  MetricsRegistry* metrics_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace mvcom::obs

@@ -1,0 +1,136 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace mvcom::obs {
+
+namespace {
+constexpr double kNoSimTime = std::numeric_limits<double>::quiet_NaN();
+
+void fill_args(TraceEvent& event, std::initializer_list<TraceArg> args) {
+  std::size_t n = 0;
+  for (const TraceArg& a : args) {
+    if (n == TraceEvent::kMaxArgs) break;  // excess args are dropped
+    event.args[n++] = a;
+  }
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("TraceRecorder: capacity must be >= 1");
+  }
+  ring_.reserve(std::min<std::size_t>(capacity_, 4096));
+}
+
+void TraceRecorder::set_sim_clock(std::function<double()> now_seconds) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  sim_clock_ = std::move(now_seconds);
+}
+
+double TraceRecorder::wall_now_us() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+double TraceRecorder::sim_now_locked() const {
+  return sim_clock_ ? sim_clock_() : kNoSimTime;
+}
+
+void TraceRecorder::append_locked(TraceEvent&& event) {
+  event.seq = next_seq_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+    return;
+  }
+  ring_[head_] = event;
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  event.wall_time_us = wall_now_us();
+  const std::lock_guard<std::mutex> lock(mu_);
+  event.sim_time_seconds = sim_now_locked();
+  append_locked(std::move(event));
+}
+
+void TraceRecorder::instant(const char* category, const char* name,
+                            std::initializer_list<TraceArg> args,
+                            std::uint32_t track) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = 'i';
+  event.track = track;
+  fill_args(event, args);
+  record(event);
+}
+
+void TraceRecorder::complete(const char* category, const char* name,
+                             double duration_seconds,
+                             std::initializer_list<TraceArg> args,
+                             std::uint32_t track) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = 'X';
+  event.track = track;
+  event.duration_seconds = duration_seconds;
+  fill_args(event, args);
+  record(event);
+}
+
+void TraceRecorder::counter(const char* category, const char* name,
+                            std::initializer_list<TraceArg> args,
+                            std::uint32_t track) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.phase = 'C';
+  event.track = track;
+  fill_args(event, args);
+  record(event);
+}
+
+void TraceRecorder::merge(const std::vector<TraceEvent>& events) {
+  const double wall = wall_now_us();
+  const std::lock_guard<std::mutex> lock(mu_);
+  const double sim = sim_now_locked();
+  for (const TraceEvent& e : events) {
+    TraceEvent stamped = e;
+    stamped.wall_time_us = wall;
+    stamped.sim_time_seconds = sim;
+    append_locked(std::move(stamped));
+  }
+}
+
+std::vector<TraceEvent> TraceRecorder::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+}  // namespace mvcom::obs

@@ -4,7 +4,26 @@
 #include <memory>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace mvcom::sim {
+
+void Simulator::set_obs(obs::ObsContext obs) {
+  obs_scheduled_ = nullptr;
+  obs_executed_ = nullptr;
+  obs_cancelled_ = nullptr;
+  if (obs::MetricsRegistry* m = obs.metrics()) {
+    obs_scheduled_ = &m->counter("mvcom_sim_events_total",
+                                 "DES events by lifecycle stage",
+                                 {{"stage", "scheduled"}});
+    obs_executed_ = &m->counter("mvcom_sim_events_total",
+                                "DES events by lifecycle stage",
+                                {{"stage", "executed"}});
+    obs_cancelled_ = &m->counter("mvcom_sim_events_total",
+                                 "DES events by lifecycle stage",
+                                 {{"stage", "cancelled"}});
+  }
+}
 
 EventId Simulator::schedule_at(SimTime at, Callback cb) {
   if (at < now_) {
@@ -13,6 +32,7 @@ EventId Simulator::schedule_at(SimTime at, Callback cb) {
   const std::uint64_t seq = next_seq_++;
   queue_.push(Entry{at, seq, std::make_shared<Callback>(std::move(cb))});
   live_.insert(seq);
+  if (obs_scheduled_ != nullptr) obs_scheduled_->inc();
   return EventId{seq};
 }
 
@@ -21,6 +41,7 @@ void Simulator::cancel(EventId id) {
   // id is a no-op (protocol timers are routinely disarmed late).
   if (live_.erase(id.value) > 0) {
     cancelled_.insert(id.value);
+    if (obs_cancelled_ != nullptr) obs_cancelled_->inc();
   }
 }
 
@@ -36,6 +57,7 @@ bool Simulator::fire_next() {
     now_ = top.at;
     live_.erase(top.seq);
     ++executed_;
+    if (obs_executed_ != nullptr) obs_executed_->inc();
     (*top.cb)();
     return true;
   }

@@ -16,6 +16,11 @@
 #include <vector>
 
 #include "common/sim_time.hpp"
+#include "obs/context.hpp"
+
+namespace mvcom::obs {
+class Counter;
+}  // namespace mvcom::obs
 
 namespace mvcom::sim {
 
@@ -62,6 +67,12 @@ class Simulator {
     return executed_;
   }
 
+  /// Attaches observability: counts scheduled/executed/cancelled events.
+  /// (The sim clock itself is attached to a TraceRecorder by the run
+  /// harness via TraceRecorder::set_sim_clock, not here — the recorder must
+  /// outlive every component, while this simulator may not.)
+  void set_obs(obs::ObsContext obs);
+
  private:
   struct Entry {
     SimTime at;
@@ -83,6 +94,10 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+
+  obs::Counter* obs_scheduled_ = nullptr;
+  obs::Counter* obs_executed_ = nullptr;
+  obs::Counter* obs_cancelled_ = nullptr;
 };
 
 }  // namespace mvcom::sim

@@ -1,4 +1,4 @@
-// Tests for the minimal CSV reader/writer.
+// Tests for the RFC-4180-style CSV reader/writer.
 
 #include "common/csv.hpp"
 
@@ -12,6 +12,7 @@ namespace {
 
 using mvcom::common::CsvRow;
 using mvcom::common::CsvWriter;
+using mvcom::common::escape_csv_field;
 using mvcom::common::parse_csv_line;
 using mvcom::common::read_csv;
 
@@ -37,8 +38,32 @@ TEST(ParseCsvLineTest, CustomSeparator) {
   EXPECT_EQ(parse_csv_line("a;b;c", ';'), (CsvRow{"a", "b", "c"}));
 }
 
-TEST(ParseCsvLineTest, RejectsQuotes) {
-  EXPECT_THROW(parse_csv_line("a,\"b\",c"), std::invalid_argument);
+TEST(ParseCsvLineTest, QuotedFields) {
+  EXPECT_EQ(parse_csv_line("a,\"b\",c"), (CsvRow{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_line("\"a,b\",c"), (CsvRow{"a,b", "c"}));
+  EXPECT_EQ(parse_csv_line("\"say \"\"hi\"\"\",x"), (CsvRow{"say \"hi\"", "x"}));
+  EXPECT_EQ(parse_csv_line("\"\",\"\""), (CsvRow{"", ""}));
+}
+
+TEST(ParseCsvLineTest, MalformedQuotingThrows) {
+  // Unterminated quoted field.
+  EXPECT_THROW(parse_csv_line("a,\"b"), std::invalid_argument);
+  // Stray quote inside an unquoted field.
+  EXPECT_THROW(parse_csv_line("a,b\"c,d"), std::invalid_argument);
+  // Text after the closing quote.
+  EXPECT_THROW(parse_csv_line("\"a\"b,c"), std::invalid_argument);
+  // Embedded newline — single-line API refuses what read_csv would accept.
+  EXPECT_THROW(parse_csv_line("\"a\nb\",c\nd,e"), std::invalid_argument);
+}
+
+TEST(EscapeCsvFieldTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(escape_csv_field("plain"), "plain");
+  EXPECT_EQ(escape_csv_field(""), "");
+  EXPECT_EQ(escape_csv_field("a,b"), "\"a,b\"");
+  EXPECT_EQ(escape_csv_field("he said \"hi\""), "\"he said \"\"hi\"\"\"");
+  EXPECT_EQ(escape_csv_field("line1\nline2"), "\"line1\nline2\"");
+  EXPECT_EQ(escape_csv_field("a;b", ';'), "\"a;b\"");
+  EXPECT_EQ(escape_csv_field("a,b", ';'), "a,b");
 }
 
 TEST_F(CsvTest, WriteReadRoundtrip) {
@@ -77,6 +102,47 @@ TEST_F(CsvTest, SkipsBlankLinesAndCarriageReturns) {
   EXPECT_EQ(file.header, (CsvRow{"a", "b"}));
   ASSERT_EQ(file.rows.size(), 1u);
   EXPECT_EQ(file.rows[0], (CsvRow{"1", "2"}));
+}
+
+TEST_F(CsvTest, QuotedRoundtripWithSeparatorsNewlinesAndEmptyFields) {
+  const auto path = dir_ / "quoted.csv";
+  const CsvRow header{"name", "note", "empty"};
+  const CsvRow row0{"alpha, beta", "first line\nsecond line", ""};
+  const CsvRow row1{"quote \" inside", "trailing,comma,", ""};
+  const CsvRow row2{"", "", ""};
+  {
+    CsvWriter writer(path);
+    writer.write_row(header);
+    writer.write_row(row0);
+    writer.write_row(row1);
+    writer.write_row(row2);
+  }
+  const auto file = read_csv(path, /*expect_header=*/true);
+  EXPECT_EQ(file.header, header);
+  ASSERT_EQ(file.rows.size(), 3u);
+  EXPECT_EQ(file.rows[0], row0);
+  EXPECT_EQ(file.rows[1], row1);
+  EXPECT_EQ(file.rows[2], row2);
+}
+
+TEST_F(CsvTest, QuotedFieldSpanningCrlfLines) {
+  const auto path = dir_ / "span.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "a,b\r\n\"multi\r\nline\",2\r\n";
+  }
+  const auto file = read_csv(path, /*expect_header=*/true);
+  ASSERT_EQ(file.rows.size(), 1u);
+  EXPECT_EQ(file.rows[0], (CsvRow{"multi\r\nline", "2"}));
+}
+
+TEST_F(CsvTest, MalformedQuotingInFileThrows) {
+  const auto path = dir_ / "badquote.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b\n\"unterminated,2\n";
+  }
+  EXPECT_THROW(read_csv(path, true), std::invalid_argument);
 }
 
 TEST_F(CsvTest, InconsistentArityThrows) {

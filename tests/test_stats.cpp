@@ -25,6 +25,35 @@ TEST(RunningStatsTest, EmptyIsZero) {
   EXPECT_EQ(s.variance(), 0.0);
 }
 
+// Regression coverage for the batch mean() the benches now share instead of
+// hand-rolling their own accumulation loops.
+TEST(MeanTest, MatchesRunningStats) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats s;
+  for (const double x : v) s.add(x);
+  EXPECT_DOUBLE_EQ(mvcom::common::mean(v), s.mean());
+  EXPECT_DOUBLE_EQ(mvcom::common::mean(v), 5.0);
+}
+
+TEST(MeanTest, EmptySampleIsZero) {
+  EXPECT_EQ(mvcom::common::mean(std::vector<double>{}), 0.0);
+}
+
+TEST(MeanTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(mvcom::common::mean(std::vector<double>{42.5}), 42.5);
+}
+
+TEST(MeanTest, StableForLargeOffsetSamples) {
+  // Welford pass must not lose the small deltas riding on a large offset —
+  // the naive sum-then-divide does here in float, and can in double for
+  // longer streams.
+  std::vector<double> v;
+  for (int i = 0; i < 10000; ++i) {
+    v.push_back(1e9 + (i % 2 == 0 ? 0.25 : 0.75));
+  }
+  EXPECT_NEAR(mvcom::common::mean(v), 1e9 + 0.5, 1e-6);
+}
+
 TEST(RunningStatsTest, KnownValues) {
   RunningStats s;
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
 #include <thread>
@@ -66,13 +67,22 @@ TEST(ThreadPoolTest, ZeroWorkersRunsInlineOnCaller) {
 TEST(ThreadPoolTest, CallerParticipatesInTheBatch) {
   // With more tasks than workers, the submitting thread must claim work too
   // — otherwise a pool of Γ−1 workers could not advance Γ explorers at full
-  // width.
+  // width. Worker-run tasks stall until the caller has claimed one (bounded
+  // by a deadline), so the assertion cannot race against the lone worker
+  // draining the whole batch before the caller gets scheduled.
   ThreadPool pool(1);
   std::atomic<int> caller_tasks{0};
   const auto caller = std::this_thread::get_id();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
   pool.parallel_for(64, [&](std::size_t) {
     if (std::this_thread::get_id() == caller) {
       caller_tasks.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      while (caller_tasks.load(std::memory_order_relaxed) == 0 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
     }
   });
   EXPECT_GT(caller_tasks.load(), 0);

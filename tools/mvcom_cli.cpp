@@ -23,6 +23,14 @@
 //       crashes, and the graceful-degradation ladder decides at the DDL.
 //       Prints the plan, the utility timeline, the Theorem-2 accounting per
 //       failure, and the final tier-attributed decision.
+//
+// The `schedule` and `chaos` commands accept observability sinks:
+//   --metrics-out <file.prom>   Prometheus text exposition of every counter,
+//                               gauge, and histogram the run touched.
+//   --trace-out <file.json>     Chrome trace-event JSON (load in Perfetto,
+//                               ui.perfetto.dev). Chaos traces are
+//                               dual-clocked: simulated time on pid 1, wall
+//                               clock on pid 2.
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +43,10 @@
 #include "common/rng.hpp"
 #include "mvcom/fault_injection.hpp"
 #include "mvcom/se_scheduler.hpp"
+#include "obs/context.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sharding/elastico.hpp"
 #include "txn/trace_generator.hpp"
 #include "txn/trace_io.hpp"
@@ -75,6 +87,67 @@ std::optional<Args> parse(int argc, char** argv, int first) {
   }
   return args;
 }
+
+/// Observability sinks requested with --metrics-out / --trace-out. Owns the
+/// registry/recorder so a command can thread an ObsContext through its run
+/// and flush the export files afterwards.
+struct ObsSinks {
+  std::string metrics_path;
+  std::string trace_path;
+  std::optional<mvcom::obs::MetricsRegistry> registry;
+  std::optional<mvcom::obs::TraceRecorder> recorder;
+
+  // Registry/recorder hold mutexes, so ObsSinks is neither movable nor
+  // copyable — construct it in place from the parsed flags.
+  explicit ObsSinks(const Args& args) {
+    if (const auto it = args.flags.find("metrics-out");
+        it != args.flags.end()) {
+      metrics_path = it->second;
+      registry.emplace();
+    }
+    if (const auto it = args.flags.find("trace-out"); it != args.flags.end()) {
+      trace_path = it->second;
+      recorder.emplace();
+    }
+  }
+
+  [[nodiscard]] mvcom::obs::ObsContext context() {
+    return {registry ? &*registry : nullptr, recorder ? &*recorder : nullptr};
+  }
+
+  /// Writes the requested files. Returns false (after printing to stderr)
+  /// if an export failed validation — the CI smoke job keys off the exit
+  /// code.
+  [[nodiscard]] bool flush() {
+    bool ok = true;
+    std::string error;
+    if (registry) {
+      const std::string text = mvcom::obs::to_prometheus_text(*registry);
+      if (!mvcom::obs::validate_prometheus_text(text, &error)) {
+        std::fprintf(stderr, "metrics export failed validation: %s\n",
+                     error.c_str());
+        ok = false;
+      }
+      mvcom::obs::write_prometheus_text(*registry, metrics_path);
+      std::printf("wrote %zu metric series to %s\n",
+                  registry->snapshot().size(), metrics_path.c_str());
+    }
+    if (recorder) {
+      const auto events = recorder->snapshot();
+      const std::string json = mvcom::obs::to_chrome_trace_json(events);
+      if (!mvcom::obs::validate_json(json, &error)) {
+        std::fprintf(stderr, "trace export failed validation: %s\n",
+                     error.c_str());
+        ok = false;
+      }
+      mvcom::obs::write_chrome_trace_json(*recorder, trace_path);
+      std::printf("wrote %zu trace events to %s (%llu dropped)\n",
+                  events.size(), trace_path.c_str(),
+                  static_cast<unsigned long long>(recorder->dropped()));
+    }
+    return ok;
+  }
+};
 
 int usage() {
   std::fprintf(stderr,
@@ -124,7 +197,10 @@ int cmd_schedule(const Args& args) {
   params.max_iterations = args.get_u64("iters", 5000);
   mvcom::core::SeScheduler scheduler(instance, params,
                                      args.get_u64("seed", 1));
+  ObsSinks sinks(args);
+  scheduler.set_obs(sinks.context());
   const auto result = scheduler.run();
+  if (!sinks.flush()) return 1;
   if (!result.feasible) {
     std::printf("no feasible selection (capacity %llu, N_min %llu)\n",
                 static_cast<unsigned long long>(capacity),
@@ -228,13 +304,20 @@ int cmd_chaos(const Args& args) {
 
   mvcom::core::ChaosConfig config;
   config.supervisor.scheduler.alpha = args.get_f64("alpha", 1.5);
+  // Default capacity covers ~70% of the calibrated workload (~775 TXs per
+  // committee), so the epoch is genuinely capacity-constrained and the SE
+  // scheduler bootstraps (bootstrap requires total claimed TXs > capacity)
+  // while an N_min-sized selection still fits (feasibility).
   config.supervisor.scheduler.capacity =
-      args.get_u64("capacity", 1000 * committees);
+      args.get_u64("capacity", 550 * committees);
   config.supervisor.scheduler.expected_committees = committees;
   config.ddl_seconds = args.get_f64("ddl", 1800.0);
 
+  ObsSinks sinks(args);
+  config.obs = sinks.context();
   const auto report =
       mvcom::core::run_chaos_epoch(chaos_committees, plan, config, seed);
+  if (!sinks.flush()) return 1;
 
   std::printf("fault plan (%zu events):\n", plan.events.size());
   for (const auto& e : plan.events) {

@@ -97,6 +97,11 @@ int main() {
     json.set(tag + "_parallel_seconds", parallel.seconds);
     json.set(tag + "_serial_seconds", serial.seconds);
     json.set(tag + "_trace_divergence", max_divergence);
+    if (gamma == 25) {
+      // Perf-gate key (see tools/bench_compare.py): gate_rate_* keys are
+      // higher-is-better throughputs checked against bench/baselines/.
+      json.set("gate_rate_gamma25_chain_iters_per_sec", chain_rate);
+    }
     std::printf(
         "  Gamma=%zu: serial %.3fs, parallel %.3fs | %.0f iters/s, "
         "%.0f explorer-iters/s, speedup vs Gamma=1: %.2fx\n",
@@ -106,6 +111,49 @@ int main() {
   std::printf("  (expected shape: higher Γ converges faster/higher; benefit "
               "saturates near Γ=10; explorer-iters/s scales with min(Γ, "
               "cores) when parallel execution is on)\n");
+
+  // --- Scale tiers: one fixed-budget epoch at 10k (and, under
+  // MVCOM_BENCH_SCALE=full, 50k) committees. The 10k tier keeps the default
+  // full-fidelity family cap; 50k uses a 256-chain family — at that size the
+  // cardinality grid is what makes the epoch interactive (see DESIGN.md
+  // §11). gate_seconds_* keys are lower-is-better wall-clock gates.
+  mvcom::bench::print_header(
+      "Scale tier", "single-epoch wall clock at 10k-50k committees");
+  std::vector<std::size_t> tiers = {10'000};
+  if (mvcom::bench::scale_full_enabled()) tiers.push_back(50'000);
+  for (const std::size_t icount : tiers) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto scale = mvcom::bench::scale_instance(icount);
+    const auto t1 = std::chrono::steady_clock::now();
+    mvcom::core::SeParams params;
+    params.threads = 4;
+    params.max_iterations = 400;
+    params.convergence_window = params.max_iterations;  // fixed budget
+    if (icount > 10'000) params.max_family = 256;
+    mvcom::core::SeScheduler scheduler(scale, params, 42);
+    const auto t2 = std::chrono::steady_clock::now();
+    const auto result = scheduler.run();
+    const auto t3 = std::chrono::steady_clock::now();
+    const auto secs = [](auto a, auto b) {
+      return std::chrono::duration<double>(b - a).count();
+    };
+    const double epoch_seconds = secs(t1, t3);
+    const double iter_rate =
+        static_cast<double>(result.iterations) / secs(t2, t3);
+    std::printf(
+        "  I=%zu: instance %.3fs, scheduler ctor %.3fs, run %.3fs "
+        "(epoch %.3fs, %.0f iters/s), utility %.1f, feasible=%d\n",
+        icount, secs(t0, t1), secs(t1, t2), secs(t2, t3), epoch_seconds,
+        iter_rate, result.utility, result.feasible ? 1 : 0);
+    const std::string tag = "scale_" + std::to_string(icount);
+    json.set(tag + "_utility", result.utility);
+    json.set(tag + "_feasible", result.feasible ? 1.0 : 0.0);
+    json.set(tag + "_ctor_seconds", secs(t1, t2));
+    json.set(tag + "_run_seconds", secs(t2, t3));
+    json.set("gate_seconds_" + tag + "_epoch", epoch_seconds);
+    json.set("gate_rate_" + tag + "_iters_per_sec", iter_rate);
+  }
+
   json.write();
   return 0;
 }

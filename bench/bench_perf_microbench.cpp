@@ -61,7 +61,7 @@ void BM_SeStep(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_SeStep)->Arg(50)->Arg(200)->Arg(500)->Arg(1000);
+BENCHMARK(BM_SeStep)->Arg(50)->Arg(200)->Arg(500)->Arg(1000)->Arg(10000);
 
 // Wall-clock cost of one barrier-to-barrier block of Γ explorers (|I|=200,
 // 100 iterations per block — the default share_interval granularity), with
@@ -103,7 +103,7 @@ void BM_SwapSetSwap(benchmark::State& state) {
     benchmark::DoNotOptimize(set);
   }
 }
-BENCHMARK(BM_SwapSetSwap)->Arg(100)->Arg(1000);
+BENCHMARK(BM_SwapSetSwap)->Arg(100)->Arg(1000)->Arg(50000);
 
 void BM_Sha256(benchmark::State& state) {
   const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
@@ -164,8 +164,7 @@ double timed_advance(const mvcom::core::EpochInstance& instance,
 /// Observability overhead guard (<5% target on the SE inner loop). Takes
 /// the best of `kReps` interleaved detached/attached repetitions, so a
 /// one-off scheduler stall cannot fake a regression either way.
-void run_overhead_guard() {
-  mvcom::bench::BenchJson json("perf_microbench");
+void run_overhead_guard(mvcom::bench::BenchJson& json) {
   const auto instance = make_instance(200);
   constexpr std::size_t kIterations = 20'000;
   constexpr int kReps = 5;
@@ -198,7 +197,44 @@ void run_overhead_guard() {
   json.set("se_attached_best_seconds", best_attached);
   json.set("se_obs_overhead_fraction", overhead);
   json.set("se_obs_overhead_pass", overhead < 0.05 ? 1.0 : 0.0);
-  json.write();
+  // Perf-gate key (tools/bench_compare.py): lower-is-better wall clock.
+  json.set("gate_seconds_se_inner_20k", best_detached);
+}
+
+/// Scale throughput: SE scheduler construction time and steady-state step
+/// rate at 10k (and, under MVCOM_BENCH_SCALE=full, 50k) committees — the
+/// perf-gate numbers behind the 50k-committee tentpole.
+void run_scale_throughput(mvcom::bench::BenchJson& json) {
+  std::printf("\n--- SE scale throughput ---\n");
+  std::vector<std::size_t> tiers = {10'000};
+  if (mvcom::bench::scale_full_enabled()) tiers.push_back(50'000);
+  for (const std::size_t icount : tiers) {
+    const auto instance = mvcom::bench::scale_instance(icount);
+    mvcom::core::SeParams params;
+    params.threads = 1;
+    if (icount > 10'000) params.max_family = 256;
+    const auto c0 = std::chrono::steady_clock::now();
+    mvcom::core::SeScheduler scheduler(instance, params, 3);
+    const double ctor_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - c0)
+            .count();
+    scheduler.advance(20);  // warm-up: fault in the chain state
+    constexpr std::size_t kIters = 200;
+    const auto t0 = std::chrono::steady_clock::now();
+    scheduler.advance(kIters);
+    const double step_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double rate = static_cast<double>(kIters) / step_seconds;
+    std::printf("  I=%zu: ctor %.3fs, %.0f iters/s (%zu chains/iteration)\n",
+                icount, ctor_seconds, rate,
+                scheduler.layout().family.size());
+    const std::string tag = std::to_string(icount);
+    json.set("scale_" + tag + "_family_chains",
+             static_cast<double>(scheduler.layout().family.size()));
+    json.set("gate_seconds_se_ctor_" + tag, ctor_seconds);
+    json.set("gate_rate_se_step_" + tag, rate);
+  }
 }
 
 }  // namespace
@@ -208,6 +244,9 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  run_overhead_guard();
+  mvcom::bench::BenchJson json("perf_microbench");
+  run_overhead_guard(json);
+  run_scale_throughput(json);
+  json.write();
   return 0;
 }

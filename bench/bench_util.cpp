@@ -42,6 +42,29 @@ core::EpochInstance paper_instance(const txn::Trace& trace,
                                            n_min);
 }
 
+core::EpochInstance scale_instance(std::size_t num_committees) {
+  common::Rng trace_rng(2016);
+  txn::TraceGeneratorConfig tc;
+  tc.num_blocks = 2 * num_committees;
+  tc.target_total_txs = num_committees * 1500;
+  const txn::Trace trace = txn::generate_trace(tc, trace_rng);
+  common::Rng rng(1);
+  txn::WorkloadConfig wc;
+  wc.num_committees = num_committees;
+  const txn::WorkloadGenerator gen(trace, wc);
+  const txn::EpochWorkload workload = gen.epoch(rng);
+  std::uint64_t total = 0;
+  for (const auto& r : workload.reports) total += r.tx_count;
+  return core::EpochInstance::from_reports(workload.reports, /*alpha=*/1.5,
+                                           /*capacity=*/(total * 7) / 10,
+                                           /*n_min=*/num_committees / 2);
+}
+
+bool scale_full_enabled() {
+  const char* v = std::getenv("MVCOM_BENCH_SCALE");
+  return v != nullptr && std::string(v) == "full";
+}
+
 void print_header(const std::string& figure, const std::string& subtitle) {
   std::printf("\n=== %s — %s ===\n", figure.c_str(), subtitle.c_str());
 }
@@ -94,7 +117,13 @@ void BenchJson::set(const std::string& key, double value) {
 }
 
 void BenchJson::set(const std::string& key, const std::string& value) {
-  put(key, "\"" + obs::json_escape(value) + "\"");
+  std::string rendered;
+  const std::string escaped = obs::json_escape(value);
+  rendered.reserve(escaped.size() + 2);
+  rendered += '"';
+  rendered += escaped;
+  rendered += '"';
+  put(key, std::move(rendered));
 }
 
 void BenchJson::set_series(const std::string& key,

@@ -32,6 +32,16 @@ namespace mvcom::bench {
                                                  double alpha,
                                                  std::size_t n_min);
 
+/// Builds one epoch at the 10k–50k scale tiers: the paper's workload shape
+/// blown up past the 1378-block snapshot (2·|I| blocks, ~1500·|I| TXs),
+/// Ĉ = 70% of the epoch's total load, α = 1.5, N_min = |I|/2. Deterministic
+/// in |I|, so every scale bench and the perf gate see the same instance.
+[[nodiscard]] core::EpochInstance scale_instance(std::size_t num_committees);
+
+/// True when the expensive 50k-committee tiers should run too
+/// (MVCOM_BENCH_SCALE=full); the 10k tiers always run.
+[[nodiscard]] bool scale_full_enabled();
+
 /// Prints a section header for one figure/panel.
 void print_header(const std::string& figure, const std::string& subtitle);
 

@@ -84,6 +84,14 @@ class Rng {
     return lo + (hi - lo) * uniform01();
   }
 
+  /// Fills `out` with uniform01() draws, consuming exactly out.size() engine
+  /// steps in order. Batch form for hot loops (e.g. the Eq.-(8) timer race)
+  /// where drawing into a flat scratch buffer keeps the transform loop that
+  /// follows free of engine-state dependencies and lets it vectorize.
+  void fill_uniform01(std::span<double> out) noexcept {
+    for (double& v : out) v = uniform01();
+  }
+
   /// Uniform integer in [0, n) using Lemire's multiply-shift rejection
   /// method (unbiased). Precondition: n > 0.
   std::uint64_t below(std::uint64_t n) noexcept;

@@ -83,7 +83,16 @@ void ThreadPool::parallel_for(std::size_t n,
     current_ = batch;
     ++epoch_;
   }
-  wake_.notify_all();
+  // Wake only as many workers as there are tasks beyond the submitter's own:
+  // for small batches on a big pool the rest stay asleep. A skipped notify
+  // is never lost work — sleeping workers re-check the epoch predicate on
+  // their next wakeup, so they simply sit this batch out.
+  const std::size_t to_wake = std::min(threads_.size(), n - 1);
+  if (to_wake == threads_.size()) {
+    wake_.notify_all();
+  } else {
+    for (std::size_t i = 0; i < to_wake; ++i) wake_.notify_one();
+  }
   drain(*batch);  // the submitting thread participates in the batch
   {
     std::unique_lock<std::mutex> lock(mutex_);

@@ -17,96 +17,180 @@ namespace {
 constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Prefix sums of the sorted (ascending) shard sizes: smallest_prefix[n] is
-/// the minimum possible Σ s over any n-subset, so cardinality n admits a
-/// capacity-feasible subset iff smallest_prefix[n] <= Ĉ. The accumulation is
-/// exact: EpochInstance construction rejects committee sets whose total Σ s
-/// would wrap std::uint64_t, and every prefix is bounded by that total.
-std::vector<std::uint64_t> smallest_prefix_sums(const EpochInstance& inst) {
-  std::vector<std::uint64_t> sizes;
-  sizes.reserve(inst.size());
-  for (const Committee& c : inst.committees()) sizes.push_back(c.txs);
-  std::sort(sizes.begin(), sizes.end());
-  std::vector<std::uint64_t> prefix(sizes.size() + 1, 0);
-  for (std::size_t i = 0; i < sizes.size(); ++i) {
-    prefix[i + 1] = prefix[i] + sizes[i];
-  }
-  return prefix;
-}
-
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// SeLayout
+// ---------------------------------------------------------------------------
+
+void SeLayout::rebuild(const EpochInstance& instance, const SeParams& params) {
+  const std::size_t total = instance.size();
+  gain.resize(total);
+  txs.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    gain[i] = instance.gain(i);
+    txs[i] = instance.committees()[i].txs;
+  }
+
+  // Size ordering (ascending s_i, ties by index) and its prefix sums:
+  // smallest_prefix[n] is the minimum possible Σ s over any n-subset, so
+  // cardinality n admits a capacity-feasible subset iff
+  // smallest_prefix[n] <= Ĉ. The accumulation is exact: EpochInstance
+  // construction rejects committee sets whose total Σ s would wrap
+  // std::uint64_t, and every prefix is bounded by that total.
+  by_size.resize(total);
+  std::iota(by_size.begin(), by_size.end(), std::uint32_t{0});
+  std::sort(by_size.begin(), by_size.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return txs[a] != txs[b] ? txs[a] < txs[b] : a < b;
+            });
+  smallest_prefix.assign(total + 1, 0);
+  for (std::size_t i = 0; i < total; ++i) {
+    smallest_prefix[i + 1] = smallest_prefix[i] + txs[by_size[i]];
+  }
+
+  // Gain ordering (descending, ties by index): the candidate index that lets
+  // greedy seeding pick the k best/worst committees without scanning all |I|.
+  by_gain.resize(total);
+  std::iota(by_gain.begin(), by_gain.end(), std::uint32_t{0});
+  std::sort(by_gain.begin(), by_gain.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return gain[a] != gain[b] ? gain[a] > gain[b] : a < b;
+            });
+
+  // Maintained cardinality family. At paper scale (|I| <= max_family) this
+  // is the literal n = 1..|I| of Alg. 1; above it, an even stride over the
+  // admissible range [max(1, N_min), n_max(Ĉ)] with both endpoints kept.
+  family.clear();
+  const std::uint64_t capacity = instance.capacity();
+  const std::size_t cap_family = params.max_family;
+  if (cap_family == 0 || total <= cap_family) {
+    family.resize(total);
+    std::iota(family.begin(), family.end(), std::uint32_t{1});
+  } else {
+    // Largest cardinality with any capacity-feasible subset. Zero means even
+    // the single smallest committee exceeds Ĉ; the lone slot stays inactive.
+    std::size_t n_act = 0;
+    while (n_act < total && smallest_prefix[n_act + 1] <= capacity) ++n_act;
+    const std::size_t lo =
+        std::min(std::max<std::size_t>(instance.n_min(), 1), total);
+    const std::size_t hi = std::max(n_act, lo);
+    const std::size_t count = hi - lo + 1;
+    if (count <= cap_family) {
+      family.resize(count);
+      std::iota(family.begin(), family.end(), static_cast<std::uint32_t>(lo));
+    } else {
+      // count > cap_family >= 2 implies a real-valued stride > 1, so the
+      // rounded cardinalities are strictly increasing — no dedup needed.
+      family.reserve(cap_family);
+      const std::size_t span = hi - lo;
+      for (std::size_t j = 0; j < cap_family; ++j) {
+        const std::size_t n =
+            lo + (j * span + (cap_family - 1) / 2) / (cap_family - 1);
+        family.push_back(static_cast<std::uint32_t>(n));
+      }
+    }
+  }
+
+  log_remaining.resize(family.size());
+  for (std::size_t slot = 0; slot < family.size(); ++slot) {
+    // ln(|I| − n) for the Eq.-(8) rate; the full-set solution never races,
+    // so its entry is unused.
+    const auto remaining = static_cast<double>(total - family[slot]);
+    log_remaining[slot] = remaining > 0.0 ? std::log(remaining) : 0.0;
+  }
+
+  first_admissible = static_cast<std::size_t>(
+      std::lower_bound(family.begin(), family.end(),
+                       static_cast<std::uint32_t>(instance.n_min())) -
+      family.begin());
+}
 
 // ---------------------------------------------------------------------------
 // SeExplorer
 // ---------------------------------------------------------------------------
 
 SeExplorer::SeExplorer(const EpochInstance* instance, const SeParams* params,
-                       common::Rng rng)
-    : instance_(instance), params_(params), rng_(rng) {
-  smallest_prefix_ = smallest_prefix_sums(*instance_);
-  refresh_caches();
-  // One solution per cardinality n = 1..|I| (slot n-1). The n = |I| slot is
-  // the static full-set solution of Alg. 1 line 25.
-  solutions_.resize(instance_->size());
-  for (std::size_t idx = 0; idx < solutions_.size(); ++idx) {
-    initialize_solution(solutions_[idx], idx + 1);
+                       const SeLayout* layout, common::Rng rng)
+    : instance_(instance), params_(params), layout_(layout), rng_(rng) {
+  const std::size_t total = instance_->size();
+  scratch_x_.assign(total, 0);
+  scratch_pool_.resize(total);
+  std::iota(scratch_pool_.begin(), scratch_pool_.end(), std::uint32_t{0});
+  solutions_.resize(layout_->family.size());
+  for (std::size_t slot = 0; slot < solutions_.size(); ++slot) {
+    initialize_solution(solutions_[slot], layout_->family[slot]);
   }
 }
 
-void SeExplorer::refresh_caches() {
+void SeExplorer::initialize_solution(SolutionState& sol, std::uint32_t n) {
   const std::size_t total = instance_->size();
-  gain_.resize(total);
-  txs_.resize(total);
-  log_remaining_.resize(total);
-  for (std::size_t i = 0; i < total; ++i) {
-    gain_[i] = instance_->gain(i);
-    txs_[i] = instance_->committees()[i].txs;
-    // ln(|I| − n) for the solution at slot i (n = i + 1); the full-set slot
-    // never races, so its entry is unused.
-    const auto remaining = static_cast<double>(total - (i + 1));
-    log_remaining_[i] = remaining > 0.0 ? std::log(remaining) : 0.0;
-  }
-}
-
-void SeExplorer::initialize_solution(SolutionState& sol, std::size_t n) {
-  const std::size_t total = instance_->size();
-  sol.active = smallest_prefix_[n] <= instance_->capacity();
+  const std::uint64_t capacity = instance_->capacity();
+  sol.n = n;
+  sol.active = layout_->smallest_prefix[n] <= capacity;
   if (!sol.active) return;
 
   // Alg. 2: resample random n-subsets until Cons. (4) holds; bounded tries,
-  // then fall back to the n smallest shards (feasible because active).
-  Selection x(total, 0);
+  // then fall back to the n smallest shards (feasible because active). The
+  // draw is a partial Fisher–Yates over the persistent scratch permutation —
+  // uniform over n-subsets regardless of the permutation's current order, so
+  // the pool is never re-iota'd — and aborts an attempt as soon as the
+  // running Σ s exceeds Ĉ (no point completing a subset that cannot fit).
+  // Resampling only pays off when a uniform n-subset has a real chance of
+  // fitting: when the expected subset load n·E[s] exceeds Ĉ, concentration
+  // makes every attempt fail and the retries just burn O(n·retries) work per
+  // slot — at 50k committees that is the dominant construction cost. Those
+  // cardinalities go straight to the deterministic fallback.
+  const double mean_txs =
+      static_cast<double>(layout_->smallest_prefix[total]) /
+      static_cast<double>(total);
+  const int budget = init_fail_streak_ > 0
+                         ? std::min(1, params_->feasibility_retries)
+                         : params_->feasibility_retries;
   bool ok = false;
-  for (int attempt = 0; attempt < params_->feasibility_retries && !ok;
-       ++attempt) {
-    std::fill(x.begin(), x.end(), 0);
-    std::uint64_t txs = 0;
-    for (const std::size_t i : rng_.sample_indices(total, n)) {
-      x[i] = 1;
-      txs += instance_->committees()[i].txs;
+  if (static_cast<double>(n) * mean_txs <= static_cast<double>(capacity)) {
+    for (int attempt = 0; attempt < budget && !ok; ++attempt) {
+      std::uint64_t txs = 0;
+      std::size_t picked = 0;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t j =
+            k + static_cast<std::size_t>(rng_.below(total - k));
+        std::swap(scratch_pool_[k], scratch_pool_[j]);
+        txs += layout_->txs[scratch_pool_[k]];
+        ++picked;
+        if (txs > capacity) break;
+      }
+      ok = picked == n && txs <= capacity;
     }
-    ok = txs <= instance_->capacity();
+    init_fail_streak_ = ok ? 0 : init_fail_streak_ + 1;
   }
-  if (!ok) {
-    std::vector<std::size_t> order(total);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
-      return instance_->committees()[a].txs < instance_->committees()[b].txs;
-    });
-    std::fill(x.begin(), x.end(), 0);
-    for (std::size_t r = 0; r < n; ++r) x[order[r]] = 1;
+  std::fill(scratch_x_.begin(), scratch_x_.end(), 0);
+  // Accumulate utility/load while writing the bitmap — the gains/sizes are
+  // already hot here, so a separate recompute() gather would just repeat the
+  // random-access pass.
+  const std::uint32_t* chosen =
+      ok ? scratch_pool_.data() : layout_->by_size.data();
+  double utility = 0.0;
+  std::uint64_t load = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t i = chosen[k];
+    scratch_x_[i] = 1;
+    utility += layout_->gain[i];
+    load += layout_->txs[i];
   }
-  sol.set.rebuild(x);
-  recompute(sol);
+  sol.set.rebuild(scratch_x_);
+  sol.utility = utility;
+  sol.txs = load;
 }
 
 void SeExplorer::recompute(SolutionState& sol) {
   sol.utility = 0.0;
   sol.txs = 0;
   for (const std::uint32_t i : sol.set.selected()) {
-    sol.utility += gain_[i];
-    sol.txs += txs_[i];
+    sol.utility += layout_->gain[i];
+    sol.txs += layout_->txs[i];
   }
+  sol.n = static_cast<std::uint32_t>(sol.set.selected_count());
 }
 
 void SeExplorer::step() {
@@ -141,7 +225,7 @@ void SeExplorer::step_chain_parallel() {
   // independent, and the acceptance ratio min(1, exp(β·ΔU)) equals the
   // Eq.-(7) rate ratio q_{f,f'}/q_{f',f}, so each chain is reversible with
   // the Eq.-(6) stationary law — the same chain the timer race realizes,
-  // advanced |I|−1 transitions per iteration.
+  // advanced one transition per maintained cardinality per iteration.
   const double beta = params_->beta;
   const std::uint64_t capacity = instance_->capacity();
   for (SolutionState& sol : solutions_) {
@@ -157,14 +241,14 @@ void SeExplorer::step_chain_parallel() {
          ++attempt) {
       out = sol.set.sample_selected(rng_);
       in = sol.set.sample_unselected(rng_);
-      new_txs = sol.txs - txs_[out] + txs_[in];
+      new_txs = sol.txs - layout_->txs[out] + layout_->txs[in];
       ok = new_txs <= capacity;
     }
     if (!ok) {
       if constexpr (obs::kEnabled) ++obs_tally_.infeasible;
       continue;
     }
-    const double delta = gain_[in] - gain_[out];
+    const double delta = layout_->gain[in] - layout_->gain[out];
     if (delta < 0.0 && rng_.uniform01() >= std::exp(beta * delta)) {
       if constexpr (obs::kEnabled) ++obs_tally_.rejects;
       continue;  // rejected downhill move
@@ -185,23 +269,19 @@ void SeExplorer::step_timer_race() {
   const double tau = params_->tau;
   const std::uint64_t capacity = instance_->capacity();
 
-  struct Winner {
-    std::size_t n_index = 0;
-    std::uint32_t out = 0;
-    std::uint32_t in = 0;
-    double delta = 0.0;
-    std::uint64_t new_txs = 0;
-    double log_timer = kInf;
-  } winner;
-
-  for (std::size_t idx = 0; idx < solutions_.size(); ++idx) {
-    SolutionState& sol = solutions_[idx];
+  // Pass 1 (engine-state sequential): sample one capacity-feasible candidate
+  // pair (ĩ, ï) per active solution into the flat scratch arrays.
+  cand_slot_.clear();
+  cand_out_.clear();
+  cand_in_.clear();
+  cand_txs_.clear();
+  cand_delta_.clear();
+  for (std::size_t slot = 0; slot < solutions_.size(); ++slot) {
+    SolutionState& sol = solutions_[slot];
     if (!sol.active) continue;
     if (sol.set.selected_count() == 0 || sol.set.unselected_count() == 0) {
       continue;  // the full-set solution has no swap moves
     }
-    // Candidate pair (ĩ, ï) — uniformly random, resampled until the swap
-    // respects the capacity constraint (bounded retries).
     std::uint32_t out = 0;
     std::uint32_t in = 0;
     std::uint64_t new_txs = 0;
@@ -210,43 +290,58 @@ void SeExplorer::step_timer_race() {
          ++attempt) {
       out = sol.set.sample_selected(rng_);
       in = sol.set.sample_unselected(rng_);
-      new_txs = sol.txs - txs_[out] + txs_[in];
+      new_txs = sol.txs - layout_->txs[out] + layout_->txs[in];
       ok = new_txs <= capacity;
     }
     if (!ok) {
       if constexpr (obs::kEnabled) ++obs_tally_.infeasible;
       continue;
     }
-    if constexpr (obs::kEnabled) ++obs_tally_.timer_draws;
-
-    const double delta = gain_[in] - gain_[out];
-    // log T = τ − ½β(U_{f'} − U_f) − ln(|I| − n) + ln(Exp(1) draw). The
-    // Exp(1) draw goes through detail::log_unit_exponential, which clamps
-    // the uniform into (0,1): a raw u == 0 would yield log T = −∞ and win
-    // the race regardless of β·ΔU.
-    const double log_timer = tau - 0.5 * beta * delta - log_remaining_[idx] +
-                             detail::log_unit_exponential(rng_.uniform01());
-    if (log_timer < winner.log_timer) {
-      winner = {idx, out, in, delta, new_txs, log_timer};
-    }
+    cand_slot_.push_back(static_cast<std::uint32_t>(slot));
+    cand_out_.push_back(out);
+    cand_in_.push_back(in);
+    cand_txs_.push_back(new_txs);
+    cand_delta_.push_back(layout_->gain[in] - layout_->gain[out]);
+  }
+  if (cand_slot_.empty()) return;  // no solution could move this round
+  if constexpr (obs::kEnabled) {
+    obs_tally_.timer_draws += cand_slot_.size();
   }
 
-  if (winner.log_timer == kInf) return;  // no solution could move this round
+  // Pass 2 (pure math): one batched uniform fill, then the race
+  //   log T = τ − ½β(U_{f'} − U_f) − ln(|I| − n) + ln(Exp(1) draw)
+  // over the flat candidate arrays. The Exp(1) draw goes through
+  // detail::log_unit_exponential, which clamps the uniform into (0,1): a raw
+  // u == 0 would yield log T = −∞ and win the race regardless of β·ΔU. With
+  // the engine state out of the loop the transform + argmin vectorizes.
+  cand_u_.resize(cand_slot_.size());
+  rng_.fill_uniform01(cand_u_);
+  std::size_t win = 0;
+  double win_log_timer = kInf;
+  for (std::size_t c = 0; c < cand_slot_.size(); ++c) {
+    const double log_timer = tau - 0.5 * beta * cand_delta_[c] -
+                             layout_->log_remaining[cand_slot_[c]] +
+                             detail::log_unit_exponential(cand_u_[c]);
+    if (log_timer < win_log_timer) {
+      win_log_timer = log_timer;
+      win = c;
+    }
+  }
   if constexpr (obs::kEnabled) ++obs_tally_.accepts;
-  SolutionState& sol = solutions_[winner.n_index];
-  sol.set.swap(winner.out, winner.in);
-  sol.txs = winner.new_txs;
-  sol.utility += winner.delta;
+  SolutionState& sol = solutions_[cand_slot_[win]];
+  sol.set.swap(cand_out_[win], cand_in_[win]);
+  sol.txs = cand_txs_[win];
+  sol.utility += cand_delta_[win];
 }
 
 std::optional<std::pair<double, const SwapSet*>> SeExplorer::best() const {
-  // λ-argmax of Alg. 1 lines 22–26: Ĉ holds by invariant; Cons. (3) filters
-  // cardinalities below N_min.
+  // λ-argmax of Alg. 1 lines 22–26: Ĉ holds by invariant; Cons. (3) is the
+  // layout's first_admissible cutoff (the family is cardinality-ascending).
   std::optional<std::pair<double, const SwapSet*>> best;
-  for (std::size_t idx = 0; idx < solutions_.size(); ++idx) {
-    const SolutionState& sol = solutions_[idx];
+  for (std::size_t slot = layout_->first_admissible; slot < solutions_.size();
+       ++slot) {
+    const SolutionState& sol = solutions_[slot];
     if (!sol.active) continue;
-    if (idx + 1 < instance_->n_min()) continue;
     if (!best || sol.utility > best->first) {
       best = {sol.utility, &sol.set};
     }
@@ -255,104 +350,150 @@ std::optional<std::pair<double, const SwapSet*>> SeExplorer::best() const {
 }
 
 void SeExplorer::adopt_if_better(const SwapSet& incumbent, double utility) {
-  const std::size_t n = incumbent.selected_count();
-  if (n == 0 || n > solutions_.size()) return;
-  SolutionState& sol = solutions_[n - 1];
-  if (sol.active && sol.utility < utility) {
-    sol.set = incumbent;
-    recompute(sol);
+  const auto n = static_cast<std::uint32_t>(incumbent.selected_count());
+  if (n == 0) return;
+  if (const auto slot = layout_->slot_of(n)) {
+    SolutionState& sol = solutions_[*slot];
+    if (sol.active && sol.utility < utility) {
+      sol.set = incumbent;
+      recompute(sol);
+    }
   }
 
-  // Seed the incumbent's neighbor cardinalities too: chains only move by
-  // swaps (cardinality-preserving), so capacity-blocked local optima need a
-  // cardinality step to escape — the family provides it.
-  if (n >= 2) {
-    SolutionState& below = solutions_[n - 2];
-    if (below.active) {
-      // Drop the incumbent's worst-gain member.
-      std::uint32_t worst = incumbent.selected().front();
-      for (const std::uint32_t i : incumbent.selected()) {
-        if (gain_[i] < gain_[worst]) worst = i;
-      }
-      const double variant_utility = utility - gain_[worst];
-      if (below.utility < variant_utility) {
-        Selection x = incumbent.to_selection();
-        x[worst] = 0;
-        below.set.rebuild(x);
-        recompute(below);
-      }
-    }
+  // Seed the incumbent's grid-neighbor cardinalities too: chains only move
+  // by swaps (cardinality-preserving), so capacity-blocked local optima need
+  // a cardinality step to escape — the family provides it. On a capped
+  // family the neighbors are the nearest maintained cardinalities on each
+  // side (n ∓ 1 when the family is the full paper one).
+  const auto lb =
+      std::lower_bound(layout_->family.begin(), layout_->family.end(), n);
+  if (lb != layout_->family.begin()) {
+    const auto idx =
+        static_cast<std::size_t>(lb - layout_->family.begin()) - 1;
+    seed_below(incumbent, utility, idx);
   }
-  if (n < solutions_.size()) {
-    SolutionState& above = solutions_[n];
-    if (above.active) {
-      // Add the best-gain non-member that still fits the capacity.
-      std::uint64_t txs = 0;
-      for (const std::uint32_t i : incumbent.selected()) txs += txs_[i];
-      std::size_t pick = gain_.size();
-      for (std::size_t i = 0; i < gain_.size(); ++i) {
-        if (incumbent.contains(static_cast<std::uint32_t>(i))) continue;
-        if (txs + txs_[i] > instance_->capacity()) continue;
-        if (pick == gain_.size() || gain_[i] > gain_[pick]) pick = i;
-      }
-      if (pick != gain_.size() &&
-          above.utility < utility + gain_[pick]) {
-        Selection x = incumbent.to_selection();
-        x[pick] = 1;
-        above.set.rebuild(x);
-        recompute(above);
-      }
-    }
+  auto ub = lb;
+  if (ub != layout_->family.end() && *ub == n) ++ub;
+  if (ub != layout_->family.end()) {
+    seed_above(incumbent, utility,
+               static_cast<std::size_t>(ub - layout_->family.begin()));
   }
 }
 
-void SeExplorer::rebind(const EpochInstance* instance,
-                        std::optional<std::uint32_t> removed_index) {
-  // NB: `instance` may be the same object the explorer was already bound to
-  // (SeScheduler mutates its member in place before rebinding), so the old
-  // universe size must come from the surviving bitmaps, not from a pointer.
-  instance_ = instance;
-  smallest_prefix_ = smallest_prefix_sums(*instance_);
-  refresh_caches();
-  const std::size_t new_total = instance_->size();
+void SeExplorer::seed_below(const SwapSet& incumbent, double utility,
+                            std::size_t slot) {
+  SolutionState& target = solutions_[slot];
+  if (!target.active) return;
+  const auto sel = incumbent.selected();
+  const std::size_t drop = sel.size() - target.n;
+  assert(drop >= 1 && drop < sel.size());
+  // The `drop` worst-gain members via a partial select over the member list —
+  // O(n) with deterministic ties, instead of walking the global gain index
+  // past every non-member.
+  scratch_members_.assign(sel.begin(), sel.end());
+  const auto lower_gain = [this](std::uint32_t a, std::uint32_t b) {
+    return layout_->gain[a] != layout_->gain[b]
+               ? layout_->gain[a] < layout_->gain[b]
+               : a < b;
+  };
+  std::nth_element(scratch_members_.begin(),
+                   scratch_members_.begin() +
+                       static_cast<std::ptrdiff_t>(drop - 1),
+                   scratch_members_.end(), lower_gain);
+  double variant = utility;
+  for (std::size_t k = 0; k < drop; ++k) {
+    variant -= layout_->gain[scratch_members_[k]];
+  }
+  if (target.utility >= variant) return;
+  incumbent.write_selection(scratch_x_);
+  for (std::size_t k = 0; k < drop; ++k) scratch_x_[scratch_members_[k]] = 0;
+  target.set.rebuild(scratch_x_);
+  recompute(target);
+}
 
-  std::vector<SolutionState> fresh(new_total);
-  const std::size_t carried = std::min(solutions_.size(), new_total);
-  for (std::size_t idx = 0; idx < carried; ++idx) {
-    SolutionState& old_sol = solutions_[idx];
-    const std::size_t n = idx + 1;
-    fresh[idx].active = smallest_prefix_[n] <= instance_->capacity();
-    if (!fresh[idx].active) continue;
+void SeExplorer::seed_above(const SwapSet& incumbent, double utility,
+                            std::size_t slot) {
+  SolutionState& target = solutions_[slot];
+  if (!target.active) return;
+  const std::uint64_t capacity = instance_->capacity();
+  std::uint64_t txs = 0;
+  for (const std::uint32_t i : incumbent.selected()) txs += layout_->txs[i];
+  // Grow to the target cardinality by adding the best-gain non-members that
+  // still fit Ĉ, walked off the descending gain index — stops after
+  // m − n additions instead of arg-maxing over all |I| per addition.
+  std::size_t need = target.n - incumbent.selected_count();
+  incumbent.write_selection(scratch_x_);
+  double variant = utility;
+  for (const std::uint32_t i : layout_->by_gain) {
+    if (need == 0) break;
+    if (scratch_x_[i] != 0) continue;
+    if (txs + layout_->txs[i] > capacity) continue;
+    scratch_x_[i] = 1;
+    txs += layout_->txs[i];
+    variant += layout_->gain[i];
+    --need;
+  }
+  if (need != 0) return;  // could not reach the target cardinality under Ĉ
+  if (target.utility >= variant) return;
+  target.set.rebuild(scratch_x_);
+  recompute(target);
+}
+
+void SeExplorer::rebind(const EpochInstance* instance, const SeLayout* layout,
+                        std::optional<std::uint32_t> removed_index) {
+  // NB: `instance`/`layout` may be the same objects the explorer was already
+  // bound to (SeScheduler mutates its members in place before rebinding), so
+  // the old universe size must come from the surviving bitmaps, not from the
+  // pointers.
+  instance_ = instance;
+  layout_ = layout;
+  const std::size_t total = instance_->size();
+  scratch_x_.assign(total, 0);
+  scratch_pool_.resize(total);
+  std::iota(scratch_pool_.begin(), scratch_pool_.end(), std::uint32_t{0});
+
+  // Both the old solution list and the new family are cardinality-ascending,
+  // so carry-over is a two-pointer merge: every chain whose cardinality the
+  // (possibly re-strided) new family still maintains survives.
+  std::vector<SolutionState> fresh(layout_->family.size());
+  std::size_t oi = 0;
+  for (std::size_t slot = 0; slot < fresh.size(); ++slot) {
+    const std::uint32_t n = layout_->family[slot];
+    SolutionState& sol = fresh[slot];
+    sol.n = n;
+    sol.active = layout_->smallest_prefix[n] <= instance_->capacity();
+    if (!sol.active) continue;
+    while (oi < solutions_.size() && solutions_[oi].n < n) ++oi;
+    SolutionState* old_sol =
+        (oi < solutions_.size() && solutions_[oi].n == n) ? &solutions_[oi]
+                                                          : nullptr;
     const bool survivable =
-        old_sol.active &&
-        (!removed_index || !old_sol.set.contains(*removed_index));
+        old_sol != nullptr && old_sol->active &&
+        (!removed_index || !old_sol->set.contains(*removed_index));
     if (!survivable) {
-      // Trimmed state (Fig. 7): the solution referenced the failed
-      // committee — draw a fresh feasible subset of the same cardinality.
-      initialize_solution(fresh[idx], n);
+      // Trimmed state (Fig. 7): the solution referenced the failed committee
+      // (or this cardinality is newly maintained) — draw a fresh feasible
+      // subset of this cardinality.
+      initialize_solution(sol, n);
       continue;
     }
     // Translate the surviving bitmap into the new index space.
-    Selection x(new_total, 0);
-    const Selection old_x = old_sol.set.to_selection();
+    old_sol->set.write_selection(scratch_old_x_);
+    std::fill(scratch_x_.begin(), scratch_x_.end(), 0);
     std::size_t w = 0;
-    for (std::size_t r = 0; r < old_x.size(); ++r) {
+    for (std::size_t r = 0; r < scratch_old_x_.size(); ++r) {
       if (removed_index && r == *removed_index) continue;
-      if (w < new_total) x[w] = old_x[r];
+      if (w < total) scratch_x_[w] = scratch_old_x_[r];
       ++w;
     }
-    fresh[idx].set.rebuild(x);
-    recompute(fresh[idx]);
-    if (fresh[idx].txs > instance_->capacity()) {
+    sol.set.rebuild(scratch_x_);
+    recompute(sol);
+    if (sol.txs > instance_->capacity()) {
       // Cannot happen on leave (Σ only shrinks) but guard regardless.
-      initialize_solution(fresh[idx], n);
+      initialize_solution(sol, n);
     }
   }
   solutions_ = std::move(fresh);
-  // Newly valid cardinalities (join events) get fresh solutions.
-  for (std::size_t idx = carried; idx < new_total; ++idx) {
-    initialize_solution(solutions_[idx], idx + 1);
-  }
 }
 
 // ---------------------------------------------------------------------------
@@ -368,15 +509,41 @@ SeScheduler::SeScheduler(EpochInstance instance, SeParams params,
   if (params_.beta <= 0.0) {
     throw std::invalid_argument("SeScheduler: beta must be positive");
   }
-  common::Rng root(seed);
-  explorers_.reserve(params_.threads);
-  for (std::size_t t = 0; t < params_.threads; ++t) {
-    explorers_.emplace_back(&instance_, &params_, root.fork());
-  }
+  layout_.rebuild(instance_, params_);
   if (params_.parallel_execution && params_.threads > 1) {
     // Γ−1 workers: the calling thread participates in every batch, so Γ
     // execution contexts advance the Γ explorers with no idle submitter.
-    pool_ = std::make_unique<common::ThreadPool>(params_.threads - 1);
+    // max_pool_workers caps the OS threads without changing any result —
+    // workers claim whole explorers between barriers, so fewer workers just
+    // means more explorers per worker.
+    std::size_t workers = params_.threads - 1;
+    if (params_.max_pool_workers > 0) {
+      workers = std::min(workers, params_.max_pool_workers);
+    }
+    if (workers > 0) pool_ = std::make_unique<common::ThreadPool>(workers);
+  }
+  // The Rng forks happen serially (the fork order defines each explorer's
+  // stream) but the construction itself — initializing O(max_family) chains,
+  // the dominant cost of an epoch at 10k+ committees — is embarrassingly
+  // parallel, so it fans out over the pool. Bitwise identical to serial
+  // construction: each explorer is a pure function of its pre-forked Rng.
+  common::Rng root(seed);
+  std::vector<common::Rng> forks;
+  forks.reserve(params_.threads);
+  for (std::size_t t = 0; t < params_.threads; ++t) {
+    forks.push_back(root.fork());
+  }
+  explorers_.reserve(params_.threads);
+  if (pool_) {
+    std::vector<std::optional<SeExplorer>> built(params_.threads);
+    pool_->parallel_for(params_.threads, [&](std::size_t t) {
+      built[t].emplace(&instance_, &params_, &layout_, forks[t]);
+    });
+    for (auto& b : built) explorers_.push_back(std::move(*b));
+  } else {
+    for (std::size_t t = 0; t < params_.threads; ++t) {
+      explorers_.emplace_back(&instance_, &params_, &layout_, forks[t]);
+    }
   }
 }
 
@@ -629,8 +796,9 @@ SeResult SeScheduler::run() {
 }
 
 void SeScheduler::rebind_all(std::optional<std::uint32_t> removed_index) {
+  layout_.rebuild(instance_, params_);
   for (SeExplorer& explorer : explorers_) {
-    explorer.rebind(&instance_, removed_index);
+    explorer.rebind(&instance_, &layout_, removed_index);
   }
 }
 

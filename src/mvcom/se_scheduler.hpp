@@ -16,7 +16,9 @@
 // Implementation notes:
 //  * Timers race in log-space: log T_n = τ − ½βΔU_n − ln(|I|−n) + ln(−ln u),
 //    which is exact (monotone transform of the exponential race) and immune
-//    to exp() overflow when β·ΔU is large.
+//    to exp() overflow when β·ΔU is large. The uniform draws for one race
+//    are batched into a flat scratch buffer (Rng::fill_uniform01), so the
+//    log-transform loop carries no engine-state dependency.
 //  * Capacity (Eq. 4) is enforced throughout: initial solutions are feasible
 //    (Alg. 2 lines 3–4) and candidate swaps that would exceed Ĉ are
 //    resampled; a cardinality n for which no capacity-feasible subset exists
@@ -31,6 +33,15 @@
 //    pool (one explorer per worker between cooperation barriers); chains are
 //    independent between share points, so the parallel path is bitwise
 //    identical to the serial one — see the SeScheduler class comment.
+//  * Scale (50k committees): the paper's family keeps one chain per
+//    cardinality n = 1..|I| — O(|I|²) state, fine at the paper's |I| ≤ 1000
+//    and fatal at 50k (≈ 20 GB and seconds of setup per explorer). Above
+//    SeParams::max_family the family becomes an even stride over the
+//    admissible cardinalities [max(1, N_min), n_max(Ĉ)] (endpoints always
+//    kept); each chain still realizes the exact per-cardinality law, the
+//    λ-argmax simply scans a subsampled cardinality axis. All read-only
+//    per-committee data (gains, sizes, prefix sums, gain/size orderings)
+//    lives in one SeLayout shared by the Γ explorers instead of Γ copies.
 //  * Dynamics (Alg. 1 lines 8–12, §V): join adds a committee and the new
 //    cardinality slot; leave (failure) trims every solution containing the
 //    failed committee by re-initialization — the trimmed space G of Fig. 7.
@@ -119,6 +130,21 @@ struct SeParams {
   /// wall-clock changes. Off by default so tests and single-core callers
   /// skip the pool entirely.
   bool parallel_execution = false;
+  /// Upper bound on the per-cardinality parallel solutions each explorer
+  /// maintains (0 = unlimited — the paper's literal family). Instances with
+  /// |I| ≤ max_family keep the full n = 1..|I| family and behave exactly as
+  /// before; larger instances get an even cardinality stride over the
+  /// admissible range (see the header comment). The default keeps every
+  /// paper-scale experiment (|I| ≤ 1000) on the exact family while making
+  /// 10k–50k committees tractable in time AND memory.
+  std::size_t max_family = 1024;
+  /// Cap on pool worker threads in parallel mode (0 = Γ − 1, the historical
+  /// default). Results are bitwise independent of this value — workers claim
+  /// whole explorers between barriers, and each explorer's trajectory
+  /// depends only on its private Rng — so Γ = 25 on an 8-core host can run
+  /// on 7 workers without changing a single output bit (tested by the
+  /// determinism matrix in test_se_parallel).
+  std::size_t max_pool_workers = 0;
 };
 
 /// Outcome of a (converged) run.
@@ -130,6 +156,32 @@ struct SeResult {
   bool converged = false;
   bool feasible = false;    // false when no (n >= N_min, capacity-ok) exists
   std::vector<double> utility_trace;  // best feasible utility per iteration
+};
+
+/// Read-only flat per-instance data shared by all Γ explorers, rebuilt once
+/// per instance mutation (construction, join, leave) by the scheduler. The
+/// SE inner loops touch `gain`/`txs` millions of times per run — flat arrays
+/// beat pointer-chasing through EpochInstance::committees() — and the
+/// gain/size orderings are the candidate indexes that let greedy seeding and
+/// feasibility fallbacks stop scanning all |I| committees.
+struct SeLayout {
+  std::vector<double> gain;                    // gain(i), index-aligned
+  std::vector<std::uint64_t> txs;              // s_i, index-aligned
+  std::vector<std::uint64_t> smallest_prefix;  // Σ of n smallest s_i; size I+1
+  std::vector<std::uint32_t> by_size;          // indices, ascending s_i
+  std::vector<std::uint32_t> by_gain;          // indices, descending gain
+  std::vector<std::uint32_t> family;   // maintained cardinalities, ascending
+  std::vector<double> log_remaining;   // ln(|I| − n) per family slot
+  std::size_t first_admissible = 0;    // first slot with n >= N_min
+
+  void rebuild(const EpochInstance& instance, const SeParams& params);
+
+  /// Family slot holding cardinality n; nullopt when n is not maintained.
+  [[nodiscard]] std::optional<std::size_t> slot_of(std::uint32_t n) const {
+    const auto it = std::lower_bound(family.begin(), family.end(), n);
+    if (it == family.end() || *it != n) return std::nullopt;
+    return static_cast<std::size_t>(it - family.begin());
+  }
 };
 
 /// Per-explorer bookkeeping for one barrier-to-barrier block of iterations:
@@ -170,10 +222,12 @@ struct SeObsCounters {
 };
 
 /// One independent exploration thread: the solution family {f_n} + timers.
+/// All per-iteration state lives in reusable member scratch buffers — after
+/// construction, step()/step_block() allocate nothing.
 class SeExplorer {
  public:
   SeExplorer(const EpochInstance* instance, const SeParams* params,
-             common::Rng rng);
+             const SeLayout* layout, common::Rng rng);
 
   /// One iteration: advances the family per SeParams::transition — either
   /// one Metropolis move per solution (kChainParallel) or one global timer
@@ -191,17 +245,22 @@ class SeExplorer {
   /// blocks so only genuinely new maxima are materialized).
   void step_block(std::size_t k, SeBlockStats* stats, double* running_max);
 
-  /// Rebinds to a mutated instance after a join/leave event, carrying over
-  /// solutions that survive (leave: solutions containing `removed` are
-  /// re-initialized; join: pass std::nullopt).
-  void rebind(const EpochInstance* instance,
+  /// Rebinds to a mutated instance + freshly rebuilt layout after a
+  /// join/leave event, carrying over solutions that survive (leave:
+  /// solutions containing `removed` are re-initialized; join: pass
+  /// std::nullopt). Carry-over matches by cardinality, so a re-strided
+  /// family keeps every chain whose cardinality it still maintains.
+  void rebind(const EpochInstance* instance, const SeLayout* layout,
               std::optional<std::uint32_t> removed_index);
 
   /// Best solution among {f_n : n >= N_min, capacity ok}; nullopt when none.
   [[nodiscard]] std::optional<std::pair<double, const SwapSet*>> best() const;
 
   /// Thread cooperation: replaces this explorer's chain of the same
-  /// cardinality with `incumbent` when the incumbent is strictly better.
+  /// cardinality with `incumbent` when the incumbent is strictly better,
+  /// and seeds the grid-adjacent cardinalities with greedy variants of the
+  /// incumbent (drop the worst members / add the best fitting non-members,
+  /// located through the SeLayout gain index rather than a full scan).
   void adopt_if_better(const SwapSet& incumbent, double utility);
 
  private:
@@ -209,30 +268,47 @@ class SeExplorer {
     SwapSet set;
     double utility = 0.0;
     std::uint64_t txs = 0;   // Σ s_i over selected — capacity bookkeeping
+    std::uint32_t n = 0;     // this chain's cardinality
     bool active = false;     // false when no feasible subset of this size
   };
 
-  void initialize_solution(SolutionState& sol, std::size_t n);
+  void initialize_solution(SolutionState& sol, std::uint32_t n);
   void recompute(SolutionState& sol);
 
   void step_timer_race();
   void step_chain_parallel();
 
-  /// Refreshes the flat per-committee caches from the bound instance.
-  void refresh_caches();
+  /// Seeds solutions_[slot] (cardinality m < n) with the incumbent minus its
+  /// n − m worst-gain members, when that variant beats the current chain.
+  void seed_below(const SwapSet& incumbent, double utility, std::size_t slot);
+  /// Seeds solutions_[slot] (cardinality m > n) with the incumbent plus the
+  /// m − n best-gain non-members that fit Ĉ, when that variant wins.
+  void seed_above(const SwapSet& incumbent, double utility, std::size_t slot);
 
   const EpochInstance* instance_;
   const SeParams* params_;
+  const SeLayout* layout_;
   common::Rng rng_;
-  std::vector<SolutionState> solutions_;  // index n-1 holds f_n
-  // Prefix sums of sorted s_i — O(1) "does cardinality n fit in Ĉ" test.
-  std::vector<std::uint64_t> smallest_prefix_;
-  // Flat copies of the instance's per-committee data — the step() race
-  // touches these millions of times per run; locality matters.
-  std::vector<double> gain_;
-  std::vector<std::uint64_t> txs_;
-  std::vector<double> log_remaining_;  // ln(|I| − n) per solution index
+  std::vector<SolutionState> solutions_;  // parallel to layout_->family
   SeObsCounters obs_tally_;  // block-local; scheduler merges at the barrier
+  /// Consecutive initialize_solution calls whose Alg.-2 resampling exhausted
+  /// its budget. Initialization proceeds in ascending cardinality and the
+  /// chance a uniform n-subset fits Ĉ only shrinks with n, so after the
+  /// first exhausted slot the later ones get a single attempt — without this
+  /// the O(n·retries) dead resamples dominate 50k-committee construction.
+  int init_fail_streak_ = 0;
+
+  // Reusable scratch — kept as members so the hot paths never allocate.
+  Selection scratch_x_;                       // bitmap builds / translations
+  Selection scratch_old_x_;                   // rebind source bitmap
+  std::vector<std::uint32_t> scratch_pool_;   // permutation for subset draws
+  std::vector<std::uint32_t> scratch_members_;  // nth_element workspace
+  std::vector<std::uint32_t> cand_slot_;      // timer race: candidate slots
+  std::vector<std::uint32_t> cand_out_;
+  std::vector<std::uint32_t> cand_in_;
+  std::vector<std::uint64_t> cand_txs_;
+  std::vector<double> cand_delta_;
+  std::vector<double> cand_u_;                // batched uniform draws
 
   friend class SeScheduler;
 };
@@ -272,6 +348,8 @@ class SeScheduler {
     return instance_;
   }
   [[nodiscard]] std::size_t iteration() const noexcept { return iteration_; }
+  /// The shared per-instance layout (cardinality family, candidate indexes).
+  [[nodiscard]] const SeLayout& layout() const noexcept { return layout_; }
 
   /// Online dynamics (Alg. 1 lines 8–12). Both reset convergence tracking.
   void add_committee(const Committee& committee);
@@ -306,6 +384,7 @@ class SeScheduler {
 
   EpochInstance instance_;
   SeParams params_;
+  SeLayout layout_;
   std::vector<SeExplorer> explorers_;
   std::size_t iteration_ = 0;
   std::unique_ptr<common::ThreadPool> pool_;  // non-null iff parallel mode

@@ -38,11 +38,19 @@ void fill_decision(SupervisedDecision& out, const EpochInstance& instance,
 std::optional<Selection> minimal_feasible(const EpochInstance& instance) {
   const std::size_t n_min = instance.n_min();
   if (n_min > instance.size()) return std::nullopt;
+  if (n_min == 0) return Selection(instance.size(), 0);
   std::vector<std::size_t> order(instance.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return instance.committees()[a].txs < instance.committees()[b].txs;
-  });
+  // Only the N_min smallest matter — a partial select keeps this decide()
+  // fallback O(I) at 50k committees. Ties break by index so the witness is
+  // deterministic.
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(n_min - 1),
+                   order.end(), [&](std::size_t a, std::size_t b) {
+                     const std::uint64_t ta = instance.committees()[a].txs;
+                     const std::uint64_t tb = instance.committees()[b].txs;
+                     return ta != tb ? ta < tb : a < b;
+                   });
   Selection x(instance.size(), 0);
   std::uint64_t txs = 0;
   for (std::size_t k = 0; k < n_min; ++k) {

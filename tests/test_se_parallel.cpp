@@ -7,9 +7,14 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <string_view>
 
 #include "common/rng.hpp"
+#include "crypto/sha256.hpp"
 #include "mvcom/online.hpp"
 #include "mvcom/se_scheduler.hpp"
 
@@ -178,6 +183,69 @@ TEST(SeParallelTest, OnlineSchedulerExploresThroughThePool) {
   ASSERT_TRUE(decision.feasible);
   EXPECT_LE(decision.permitted_txs, config.capacity);
   for (const std::uint32_t id : decision.permitted_ids) EXPECT_NE(id, 2u);
+}
+
+// --- Determinism matrix (the 50k-scaling PR's correctness gate) ---------
+//
+// Identical seeds must yield bitwise-identical schedules across execution
+// shapes: serial vs pool-backed, and pool worker counts {1, 2, 8} (via
+// SeParams::max_pool_workers — workers claim whole explorers between
+// barriers, so the worker count can change wall-clock but never results).
+// Exercised at I=50 (full chain family) and I=5000 (strided family, the
+// scale-tier code path).
+//
+// The same runs also feed a digest file when MVCOM_DETERMINISM_DIGEST is
+// set: SHA-256 over the best selection, the utility bits, and the full
+// utility trace. CI runs this test in MVCOM_OBS=ON and OBS=OFF builds and
+// diffs the two digest files, extending the bitwise guarantee across
+// observability configurations (which no single binary can check alone).
+
+std::string result_digest(const SeResult& r) {
+  mvcom::crypto::Sha256 h;
+  h.update(std::string_view(reinterpret_cast<const char*>(r.best.data()),
+                            r.best.size()));
+  const auto absorb_double = [&h](double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    h.update(std::string_view(reinterpret_cast<const char*>(&bits),
+                              sizeof bits));
+  };
+  absorb_double(r.utility);
+  for (const double u : r.utility_trace) {
+    absorb_double(std::isnan(u) ? 0.0 : u);  // canonicalize NaN payloads
+  }
+  return mvcom::crypto::to_hex(h.finalize());
+}
+
+TEST(SeDeterminismMatrix, WorkerCountsAndSerialAgreeBitwise) {
+  const char* digest_path = std::getenv("MVCOM_DETERMINISM_DIGEST");
+  std::ofstream digest_out;
+  if (digest_path != nullptr && *digest_path != '\0') {
+    digest_out.open(digest_path, std::ios::trunc);
+    ASSERT_TRUE(digest_out) << "cannot open " << digest_path;
+  }
+
+  for (const std::size_t icount : {std::size_t{50}, std::size_t{5000}}) {
+    SCOPED_TRACE("I=" + std::to_string(icount));
+    const EpochInstance inst =
+        random_instance(icount, icount, icount / 10);
+    SeParams params;
+    params.threads = 4;
+    params.max_iterations = icount <= 50 ? 400 : 40;
+    params.share_interval = 10;
+    params.convergence_window = params.max_iterations + 1;
+    params.max_family = 96;  // forces the strided family at I=5000
+
+    const SeResult serial = run_once(inst, params, false, 99);
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+      SCOPED_TRACE("max_pool_workers=" + std::to_string(workers));
+      params.max_pool_workers = workers;
+      const SeResult pooled = run_once(inst, params, true, 99);
+      expect_identical(serial, pooled);
+    }
+    if (digest_out.is_open()) {
+      digest_out << "I=" << icount << " " << result_digest(serial) << "\n";
+    }
+  }
 }
 
 TEST(SeParallelTest, GammaOneIgnoresParallelFlag) {

@@ -6,14 +6,19 @@
 //       distributed within its own range.
 // Regenerated here with the message-level Elastico + PBFT simulators.
 
+#include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "sharding/elastico.hpp"
+#include "txn/trace_generator.hpp"
 
 namespace {
 
@@ -57,6 +62,102 @@ LatencySample measure(std::size_t nodes, std::uint64_t seeds) {
   return sample;
 }
 
+// --- DES scale tier -------------------------------------------------------
+// The lane-parallel substrate's perf gate: one message-level epoch at a node
+// count large enough that the directory exchanges dominate (the linear-in-N
+// stage), run serially (lane_workers = 0) and on an 8-worker lane pool. Both
+// wall clocks are gated against committed baselines; the two runs must also
+// report identical event-order digests (the determinism contract, enforced
+// bit-exactly by test_elastico_lanes — re-checked here on the gate workload).
+
+struct DesRun {
+  double seconds = 0.0;
+  std::uint64_t events = 0;
+  std::vector<std::uint64_t> digests;
+};
+
+DesRun timed_des_epochs(const mvcom::sharding::ElasticoConfig& base,
+                        std::size_t lane_workers, std::uint64_t epochs,
+                        const mvcom::txn::Trace& trace) {
+  mvcom::sharding::ElasticoConfig config = base;
+  config.lane_workers = lane_workers;
+  mvcom::sharding::ElasticoNetwork network(config, Rng(77));
+  DesRun run;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    const auto outcome = network.run_epoch(trace);
+    run.events += outcome.events_executed;
+    run.digests.push_back(outcome.event_order_digest);
+  }
+  run.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return run;
+}
+
+void run_des_scale_tier(mvcom::bench::BenchJson& json) {
+  std::size_t nodes = 2048;
+  if (mvcom::bench::scale_full_enabled()) nodes = 4096;
+  constexpr std::uint64_t kEpochs = 16;
+  constexpr std::size_t kLanes = 8;
+
+  mvcom::sharding::ElasticoConfig config = config_for(nodes);
+  config.message_level_overlay = true;
+  // Quadratic PBFT traffic per committee keeps the DES (not the setup code)
+  // the measured cost: ~1M events across the run.
+  config.committee_size = 16;
+  // Enough blocks for one shard per member committee at this scale.
+  Rng trace_rng(31);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = 2 * (std::size_t{1} << config.committee_bits);
+  tc.target_total_txs = tc.num_blocks * 1000;
+  const mvcom::txn::Trace trace = generate_trace(tc, trace_rng);
+
+  mvcom::bench::print_header(
+      "DES scale", "lane-parallel epoch substrate (message-level overlay)");
+  std::printf("  %zu nodes, %d committee bits, %llu epochs\n", nodes,
+              config.committee_bits,
+              static_cast<unsigned long long>(kEpochs));
+
+  const DesRun serial = timed_des_epochs(config, 0, kEpochs, trace);
+  const DesRun laned = timed_des_epochs(config, kLanes, kEpochs, trace);
+  const bool identical = serial.digests == laned.digests &&
+                         serial.events == laned.events;
+  const double serial_rate = static_cast<double>(serial.events) /
+                             serial.seconds;
+  const double speedup = serial.seconds / laned.seconds;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  std::printf("  serial   : %.3fs (%llu events, %.0f events/s)\n",
+              serial.seconds,
+              static_cast<unsigned long long>(serial.events), serial_rate);
+  std::printf("  %zu lanes  : %.3fs (speedup %.2fx)\n", kLanes, laned.seconds,
+              speedup);
+  std::printf("  determinism: digests %s\n",
+              identical ? "identical (PASS)" : "DIVERGED (FAIL)");
+  // The >= 4x-at-8-lanes target is only observable with >= 8 cores; on
+  // smaller hosts the laned wall clock is still regression-gated below.
+  if (cores >= 8) {
+    std::printf("  speedup target (>= 4x at %zu lanes): %s\n", kLanes,
+                speedup >= 4.0 ? "PASS" : "FAIL");
+  } else {
+    std::printf("  speedup target skipped: only %u hardware threads "
+                "(need >= 8 to observe 4x)\n", cores);
+  }
+
+  json.set("des_scale_nodes", static_cast<double>(nodes));
+  json.set("des_scale_epochs", static_cast<double>(kEpochs));
+  json.set("des_scale_events", static_cast<double>(serial.events));
+  json.set("des_scale_digests_identical", identical ? 1.0 : 0.0);
+  json.set("des_scale_speedup_lanes8", speedup);
+  json.set("des_scale_hardware_threads", static_cast<double>(cores));
+  // Perf-gate keys (tools/bench_compare.py): both paths are wall-clock
+  // gated, and the serial path doubles as the events/s rate gate.
+  json.set("gate_seconds_fig2_des_serial", serial.seconds);
+  json.set("gate_seconds_fig2_des_lanes8", laned.seconds);
+  json.set("gate_rate_fig2_des_events", serial_rate);
+}
+
 }  // namespace
 
 int main() {
@@ -95,6 +196,8 @@ int main() {
   std::printf("  (expected shape: both terms random within their own range; "
               "formation range is much wider)\n");
   json.set("committees_sampled", static_cast<double>(sample.formation.size()));
+
+  run_des_scale_tier(json);
   json.write();
   return 0;
 }

@@ -16,13 +16,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "baselines/dynamic_programming.hpp"
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "consensus/pbft.hpp"
+#include "crypto/pow.hpp"
 #include "crypto/sha256.hpp"
 #include "mvcom/se_scheduler.hpp"
 #include "mvcom/swap_set.hpp"
@@ -136,6 +139,51 @@ void BM_PbftInstance(benchmark::State& state) {
 }
 BENCHMARK(BM_PbftInstance)->Arg(4)->Arg(16)->Arg(32);
 
+// PoW grind rate through the cached midstate (one Sha256 copy + <= 20 nonce
+// bytes per attempt) vs re-absorbing the whole preimage each attempt — the
+// stage-1 hot loop of every Elastico epoch.
+void BM_PowGrindMidstate(benchmark::State& state) {
+  const mvcom::crypto::PowMidstate midstate("bench-epoch-randomness",
+                                            "node-12345");
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(midstate.digest(nonce++));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PowGrindMidstate);
+
+void BM_PowGrindFromScratch(benchmark::State& state) {
+  std::uint64_t nonce = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mvcom::crypto::Sha256::hash(
+        std::string("bench-epoch-randomness") + "|node-12345|" +
+        std::to_string(nonce++)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PowGrindFromScratch);
+
+// DES kernel churn: schedule + fire through the slab/4-ary-heap engine at a
+// live queue depth typical of a large committee fabric.
+void BM_SimulatorChurn(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  mvcom::sim::Simulator sim;
+  Rng rng(11);
+  double horizon = 0.0;
+  for (std::size_t i = 0; i < depth; ++i) {
+    sim.schedule_at(SimTime(rng.uniform(0.0, 100.0)), [] {});
+  }
+  for (auto _ : state) {
+    // Fire one event, schedule one replacement: steady-state queue depth.
+    sim.run(1);
+    horizon = sim.now().seconds() + rng.uniform(0.0, 100.0);
+    sim.schedule_at(SimTime(horizon), [] {});
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SimulatorChurn)->Arg(64)->Arg(4096)->Arg(65536);
+
 void BM_DpSolve(benchmark::State& state) {
   const auto instance = make_instance(static_cast<std::size_t>(state.range(0)));
   mvcom::baselines::DynamicProgramming dp;
@@ -237,6 +285,61 @@ void run_scale_throughput(mvcom::bench::BenchJson& json) {
   }
 }
 
+/// PoW hash rate through the midstate path, measured by grinding a fixed
+/// attempt count against an unsolvable target (leading64_below = 0 never
+/// matches, so solve() always performs exactly kAttempts hashes).
+void run_pow_rate(mvcom::bench::BenchJson& json) {
+  constexpr std::uint64_t kAttempts = 200'000;
+  const mvcom::crypto::PowTarget unsolvable{0};
+  (void)mvcom::crypto::solve("bench-epoch-randomness", "node-12345",
+                             unsolvable, kAttempts / 10);  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto solution = mvcom::crypto::solve("bench-epoch-randomness",
+                                             "node-12345", unsolvable,
+                                             kAttempts);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rate = static_cast<double>(kAttempts) / seconds;
+  std::printf("\n--- PoW grind rate (midstate path) ---\n");
+  std::printf("  %llu attempts in %.3fs -> %.0f hashes/s%s\n",
+              static_cast<unsigned long long>(kAttempts), seconds, rate,
+              solution.has_value() ? " (unexpected solution!)" : "");
+  json.set("pow_grind_attempts", static_cast<double>(kAttempts));
+  json.set("gate_rate_pow_grind", rate);
+}
+
+/// DES event churn rate: steady-state schedule+fire pairs at 4096 pending
+/// events — the slab/heap engine's throughput number the lane-parallel
+/// epoch multiplies by the worker count.
+void run_event_churn(mvcom::bench::BenchJson& json) {
+  constexpr std::size_t kDepth = 4096;
+  constexpr std::size_t kEvents = 2'000'000;
+  mvcom::sim::Simulator sim;
+  Rng rng(13);
+  for (std::size_t i = 0; i < kDepth; ++i) {
+    sim.schedule_at(SimTime(rng.uniform(0.0, 100.0)), [] {});
+  }
+  sim.run(kDepth / 2);  // warm-up: heap + slab are hot
+  for (std::size_t i = 0; i < kDepth / 2; ++i) {
+    sim.schedule_after(SimTime(rng.uniform(0.0, 100.0)), [] {});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    sim.run(1);
+    sim.schedule_after(SimTime(rng.uniform(0.0, 100.0)), [] {});
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rate = static_cast<double>(kEvents) / seconds;
+  std::printf("\n--- DES event churn (depth %zu) ---\n", kDepth);
+  std::printf("  %zu schedule+fire pairs in %.3fs -> %.0f events/s\n",
+              kEvents, seconds, rate);
+  json.set("sim_churn_depth", static_cast<double>(kDepth));
+  json.set("gate_rate_sim_event_churn", rate);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -247,6 +350,8 @@ int main(int argc, char** argv) {
   mvcom::bench::BenchJson json("perf_microbench");
   run_overhead_guard(json);
   run_scale_throughput(json);
+  run_pow_rate(json);
+  run_event_churn(json);
   json.write();
   return 0;
 }

@@ -1,7 +1,9 @@
 #pragma once
 // A small fixed-size worker pool for barrier-style data parallelism — the
 // execution substrate behind the SE scheduler's Γ "distributed parallel
-// execution threads" (paper §IV-D) and any other fork/join hot path.
+// execution threads" (paper §IV-D), the Elastico epoch's per-committee
+// simulator lanes (ElasticoConfig::lane_workers, DESIGN.md §12), and any
+// other fork/join hot path.
 //
 // Design:
 //  * N workers are spawned once at construction and live for the pool's

@@ -73,12 +73,14 @@ struct PbftResult {
 };
 
 /// One PBFT committee. Owns its replicas' protocol state; network and
-/// simulator are borrowed (shared across committees by the Elastico layer).
+/// simulator are borrowed — the Elastico layer gives each committee a
+/// private simulator lane + network, so a cluster only ever sees its own
+/// fabric (DESIGN.md §12).
 class PbftCluster {
  public:
-  /// `members` maps replica index r to its network node id — Elastico packs
-  /// many committees into one Network and committee membership is scattered
-  /// (assigned by PoW hash), so the mapping is explicit. n = members.size().
+  /// `members` maps replica index r to its network node id — committee
+  /// membership is scattered over the global node-id space (assigned by
+  /// PoW hash), so the mapping is explicit. n = members.size().
   PbftCluster(sim::Simulator& simulator, net::Network& network,
               PbftConfig config, Rng rng, std::vector<NodeId> members);
 

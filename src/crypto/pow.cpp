@@ -1,9 +1,24 @@
 #include "crypto/pow.hpp"
 
 #include <cassert>
+#include <charconv>
 #include <limits>
+#include <string_view>
 
 namespace mvcom::crypto {
+namespace {
+
+/// Formats `nonce` in decimal into `buf` (no allocation); returns the view.
+/// 20 chars hold the largest uint64.
+std::string_view format_nonce(std::uint64_t nonce,
+                              char (&buf)[20]) noexcept {
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), nonce);
+  assert(ec == std::errc{});
+  (void)ec;
+  return {buf, static_cast<std::size_t>(end - buf)};
+}
+
+}  // namespace
 
 PowTarget PowTarget::from_difficulty_bits(int bits) noexcept {
   assert(bits >= 0 && bits < 64);
@@ -18,12 +33,21 @@ double PowTarget::expected_attempts() const noexcept {
 
 Digest pow_digest(std::string_view epoch_randomness, std::string_view identity,
                   std::uint64_t nonce) noexcept {
-  Sha256 h;
-  h.update(epoch_randomness);
-  h.update("|");
-  h.update(identity);
-  h.update("|");
-  h.update(std::to_string(nonce));
+  return PowMidstate(epoch_randomness, identity).digest(nonce);
+}
+
+PowMidstate::PowMidstate(std::string_view epoch_randomness,
+                         std::string_view identity) noexcept {
+  prefix_.update(epoch_randomness);
+  prefix_.update("|");
+  prefix_.update(identity);
+  prefix_.update("|");
+}
+
+Digest PowMidstate::digest(std::uint64_t nonce) const noexcept {
+  char buf[20];
+  Sha256 h = prefix_;  // midstate copy: the prefix is never re-absorbed
+  h.update(format_nonce(nonce, buf));
   return h.finalize();
 }
 
@@ -31,9 +55,10 @@ std::optional<PowSolution> solve(std::string_view epoch_randomness,
                                  std::string_view identity, PowTarget target,
                                  std::uint64_t max_attempts,
                                  std::uint64_t start_nonce) {
+  const PowMidstate midstate(epoch_randomness, identity);
   for (std::uint64_t i = 0; i < max_attempts; ++i) {
     const std::uint64_t nonce = start_nonce + i;
-    Digest d = pow_digest(epoch_randomness, identity, nonce);
+    Digest d = midstate.digest(nonce);
     if (leading64(d) < target.leading64_below) {
       return PowSolution{nonce, d};
     }

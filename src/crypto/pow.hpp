@@ -47,6 +47,23 @@ struct PowSolution {
                                 std::string_view identity,
                                 std::uint64_t nonce) noexcept;
 
+/// Cached SHA-256 midstate over the constant `randomness|identity|` prefix.
+/// The grinding loop re-hashes only the decimal nonce per attempt (formatted
+/// into a stack buffer — no allocation): one midstate copy + <= 20 tail
+/// bytes instead of re-absorbing the whole preimage. Produces digests
+/// bit-identical to pow_digest for every nonce.
+class PowMidstate {
+ public:
+  PowMidstate(std::string_view epoch_randomness,
+              std::string_view identity) noexcept;
+
+  /// Digest of the full preimage for `nonce`.
+  [[nodiscard]] Digest digest(std::uint64_t nonce) const noexcept;
+
+ private:
+  Sha256 prefix_;  // absorbed "randomness|identity|", copied per attempt
+};
+
 /// Grinds nonces from `start_nonce`; gives up after `max_attempts`.
 [[nodiscard]] std::optional<PowSolution> solve(std::string_view epoch_randomness,
                                                std::string_view identity,

@@ -72,7 +72,7 @@ void Network::set_loss_probability(double p) {
   loss_ = p;
 }
 
-bool Network::send(NodeId from, NodeId to, std::function<void()> on_deliver) {
+Network::SendPlan Network::plan_send(NodeId from, NodeId to) {
   const auto dropped = [&](obs::Counter* counter, const char* why) {
     ++dropped_;
     if (counter != nullptr) counter->inc();
@@ -81,7 +81,7 @@ bool Network::send(NodeId from, NodeId to, std::function<void()> on_deliver) {
                  {{"from", static_cast<double>(from)},
                   {"to", static_cast<double>(to)}});
     }
-    return false;
+    return SendPlan{false, SimTime::zero()};
   };
   if (failed_.at(from) || failed_.at(to)) {
     return dropped(obs_dropped_failed_, "net/drop_endpoint_failed");
@@ -93,24 +93,16 @@ bool Network::send(NodeId from, NodeId to, std::function<void()> on_deliver) {
   if (obs_sent_ != nullptr) obs_sent_->inc();
   const SimTime delay = sample_delay(from, to);
   if (obs_delay_ != nullptr) obs_delay_->observe(delay.seconds());
-  if (obs_.trace() != nullptr) {
-    // Wrap delivery so the trace shows the in-flight span: an 'X' event of
-    // `delay` seconds recorded at delivery time (the exporter rewinds the
-    // start timestamp by the duration).
-    simulator_.schedule_after(
-        delay, [this, from, to, delay, cb = std::move(on_deliver)] {
-          if (auto* t = obs_.trace()) {
-            t->complete("net", "net/deliver", delay.seconds(),
-                        {{"from", static_cast<double>(from)},
-                         {"to", static_cast<double>(to)},
-                         {"delay_s", delay.seconds()}});
-          }
-          cb();
-        });
-  } else {
-    simulator_.schedule_after(delay, std::move(on_deliver));
+  return SendPlan{true, delay};
+}
+
+void Network::trace_delivery(NodeId from, NodeId to, SimTime delay) {
+  if (auto* t = obs_.trace()) {
+    t->complete("net", "net/deliver", delay.seconds(),
+                {{"from", static_cast<double>(from)},
+                 {"to", static_cast<double>(to)},
+                 {"delay_s", delay.seconds()}});
   }
-  return true;
 }
 
 void Network::broadcast(

@@ -63,7 +63,27 @@ class Network {
   /// Sends a message: schedules `on_deliver` after a sampled delay, unless
   /// either endpoint is failed (then the message is silently dropped).
   /// Returns true if the message was accepted into the network.
-  bool send(NodeId from, NodeId to, std::function<void()> on_deliver);
+  /// Accepts any callable and forwards it straight into the simulator's
+  /// inline event storage — the hot PBFT message path stays allocation-free.
+  template <typename F>
+  bool send(NodeId from, NodeId to, F&& on_deliver) {
+    const SendPlan plan = plan_send(from, to);
+    if (!plan.deliver) return false;
+    if (obs_.trace() != nullptr) {
+      // Wrap delivery so the trace shows the in-flight span: an 'X' event of
+      // `delay` seconds recorded at delivery time (the exporter rewinds the
+      // start timestamp by the duration).
+      simulator_.schedule_after(
+          plan.delay, [this, from, to, delay = plan.delay,
+                       cb = std::forward<F>(on_deliver)]() mutable {
+            trace_delivery(from, to, delay);
+            cb();
+          });
+    } else {
+      simulator_.schedule_after(plan.delay, std::forward<F>(on_deliver));
+    }
+    return true;
+  }
 
   /// Convenience broadcast from `from` to every other live node.
   /// `make_handler(to)` constructs the per-recipient delivery action.
@@ -85,6 +105,15 @@ class Network {
   void set_obs(obs::ObsContext obs);
 
  private:
+  /// Outcome of the pre-delivery bookkeeping shared by every send: drop
+  /// decisions, counters, and the sampled delay.
+  struct SendPlan {
+    bool deliver;
+    SimTime delay;
+  };
+  SendPlan plan_send(NodeId from, NodeId to);
+  void trace_delivery(NodeId from, NodeId to, SimTime delay);
+
   sim::Simulator& simulator_;
   Rng rng_;
   std::shared_ptr<const LatencyModel> link_model_;

@@ -8,6 +8,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/pow.hpp"
 #include "crypto/sha256.hpp"
@@ -17,6 +18,12 @@ namespace {
 
 /// Minimum PBFT committee: n = 4 tolerates f = 1.
 constexpr std::size_t kMinBftMembers = 4;
+
+/// FNV-1a fold used to merge per-lane order digests in committee order.
+constexpr std::uint64_t kDigestBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  return (h ^ v) * 0x100000001b3ULL;
+}
 
 }  // namespace
 
@@ -113,17 +120,17 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
       static_cast<double>(config_.num_nodes) *
       config_.overlay_cost_per_node.seconds() * rng_.uniform(0.9, 1.1));
 
-  // Fresh event fabric per epoch.
-  sim::Simulator simulator;
   auto link = std::make_shared<net::LognormalLatency>(
       config_.link_latency_mean, SimTime(0.5 * config_.link_latency_mean.seconds()));
-  net::Network network(simulator, rng_.fork(), link, config_.num_nodes);
-  network.set_loss_probability(config_.message_loss_probability);
+
+  // Per-epoch node failures, drawn once up front. Each lane marks only its
+  // own participants on its private network — PBFT traffic never leaves the
+  // committee, so the other nodes' flags cannot influence the lane.
+  std::vector<std::uint8_t> node_failed(config_.num_nodes, 0);
   for (net::NodeId node = 0; node < config_.num_nodes; ++node) {
-    network.set_node_factor(node, 1.0);
     if (config_.node_failure_probability > 0.0 &&
         rng_.bernoulli(config_.node_failure_probability)) {
-      network.set_failed(node, true);
+      node_failed[node] = 1;
     }
   }
 
@@ -134,11 +141,17 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
   EpochOutcome outcome;
   outcome.committees.resize(member_committees);
 
-  // --- Stage 3: intra-committee consensus (all committees concurrently) --
-  std::vector<std::unique_ptr<consensus::PbftCluster>> clusters(committees);
+  // --- Membership and per-lane RNG substreams (serial, committee order) --
   std::vector<std::vector<net::NodeId>> participants(committees);
   std::vector<SimTime> formation(committees, SimTime::infinity());
 
+  struct LaneStreams {
+    Rng overlay;  // message-level directory exchange fabric
+    Rng net;      // the lane's Network (delay sampling, loss draws)
+    Rng cluster;  // the lane's PbftCluster
+    bool armed = false;
+  };
+  std::vector<LaneStreams> streams(committees);
   for (std::size_t c = 0; c < committees; ++c) {
     auto& solves = assignment[c];
     std::sort(solves.begin(), solves.end(),
@@ -148,6 +161,34 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
     for (std::size_t r = 0; r < take; ++r) {
       participants[c].push_back(solves[r].node);
     }
+    if (!config_.message_level_overlay) {
+      // Formed when the last participant finished PoW, plus the closed-form
+      // overlay exchange.
+      formation[c] = solves[take - 1].at + overlay;
+    }
+    // Fork every lane's substreams here — serially, in committee order,
+    // before any lane runs. This is the whole determinism contract: a lane
+    // consumes only its own pre-forked streams, so execution order across
+    // worker threads cannot change what any lane draws.
+    if (config_.message_level_overlay) streams[c].overlay = rng_.fork();
+    streams[c].net = rng_.fork();
+    streams[c].cluster = rng_.fork();
+    streams[c].armed = true;
+  }
+
+  // --- Stages 2 (message-level) + 3: one private lane per committee ------
+  // Committees are mutually independent until the final consensus (§I), so
+  // each formed committee gets a private event fabric + network driven to
+  // quiescence inside its lane. The final committee's lane performs only
+  // its overlay exchange; its PBFT waits for stage 4. Lane outcomes land in
+  // per-committee slots and merge below in committee order, so results are
+  // bitwise-identical for any lane_workers value.
+  std::vector<std::uint64_t> lane_digest(committees, 0);
+  std::vector<std::uint64_t> lane_events(committees, 0);
+  const auto run_lane = [&](std::size_t c) {
+    if (!streams[c].armed) return;
+    std::uint64_t digest = kDigestBasis;
+    std::uint64_t events = 0;
     if (config_.message_level_overlay) {
       // Stage 2 as the real directory exchange: the first solver collects
       // JOINs from its committee peers plus one identity announcement per
@@ -155,18 +196,20 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
       // the linear-in-N term), then pushes the list back out. Each exchange
       // runs on an isolated event fabric so its absolute-time scheduling
       // cannot collide with the other committees' stages.
-      std::vector<net::NodeId> members(participants[c].begin(),
-                                       participants[c].begin() +
-                                           static_cast<std::ptrdiff_t>(take));
+      const std::size_t take = participants[c].size();
       std::vector<SimTime> ready;
       ready.reserve(take);
-      for (std::size_t r = 0; r < take; ++r) ready.push_back(solves[r].at);
+      for (std::size_t r = 0; r < take; ++r) ready.push_back(assignment[c][r].at);
       sim::Simulator overlay_sim;
-      net::Network overlay_net(overlay_sim, rng_.fork(), link,
+      overlay_sim.set_obs(obs_);
+      net::Network overlay_net(overlay_sim, streams[c].overlay, link,
                                config_.num_nodes);
+      overlay_net.set_obs(obs_);
       const OverlayResult exchanged = run_overlay_configuration(
-          overlay_sim, overlay_net, members, ready, members.front(),
-          config_.overlay_identity_processing);
+          overlay_sim, overlay_net, participants[c], ready,
+          participants[c].front(), config_.overlay_identity_processing);
+      digest = digest_mix(digest, overlay_sim.order_digest());
+      events += overlay_sim.events_executed();
       // Directory-side verification of the *network-wide* identity list.
       const SimTime directory_scan =
           SimTime(static_cast<double>(config_.num_nodes) *
@@ -178,52 +221,74 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
       if (configured.is_infinite() ||
           exchanged.directory_complete.is_infinite()) {
         participants[c].clear();  // exchange failed: committee unformed
-        continue;
+        lane_digest[c] = digest;
+        lane_events[c] = events;
+        return;
       }
       formation[c] = configured + directory_scan;
-    } else {
-      // Formed when the last participant finished PoW, plus the closed-form
-      // overlay exchange.
-      formation[c] = solves[take - 1].at + overlay;
     }
+    if (c < member_committees) {
+      CommitteeOutcome& co = outcome.committees[c];
+      co.formation_latency = formation[c];
+
+      sim::Simulator lane_sim;
+      lane_sim.set_obs(obs_);
+      net::Network lane_net(lane_sim, streams[c].net, link, config_.num_nodes);
+      lane_net.set_obs(obs_);
+      lane_net.set_loss_probability(config_.message_loss_probability);
+      for (const net::NodeId node : participants[c]) {
+        if (node_failed[node] != 0) lane_net.set_failed(node, true);
+      }
+      consensus::PbftCluster cluster(lane_sim, lane_net, config_.pbft,
+                                     streams[c].cluster, participants[c]);
+      cluster.set_obs(obs_);
+      for (std::size_t r = 0; r < participants[c].size(); ++r) {
+        cluster.set_speed_factor(r, verify_speeds_[participants[c][r]]);
+      }
+      // Shard payload: Merkle root over a synthetic per-shard block digest.
+      const crypto::Digest payload = crypto::Sha256::hash(
+          randomness_ + "|shard|" + std::to_string(c) + "|" +
+          std::to_string(shard_txs[c]));
+      bool decided = false;
+      lane_sim.schedule_at(formation[c], [&cluster, payload, &co, &decided] {
+        cluster.start_consensus(
+            payload, [&co, &decided](const consensus::PbftResult& res) {
+              co.committed = res.committed;
+              co.consensus_latency = res.latency;
+              co.view_changes = res.view_changes;
+              decided = true;
+            });
+      });
+      // Drive this committee to quiescence (the cluster's horizon event
+      // bounds the run); by then nothing references the lane's objects.
+      lane_sim.run();
+      assert(decided);
+      digest = digest_mix(digest, lane_sim.order_digest());
+      events += lane_sim.events_executed();
+    }
+    lane_digest[c] = digest;
+    lane_events[c] = events;
+  };
+  {
+    // lane_workers == 0 builds a worker-less pool: parallel_for degenerates
+    // to an inline loop on this thread — the serial reference path.
+    common::ThreadPool pool(config_.lane_workers);
+    pool.parallel_for(committees, run_lane);
   }
 
-  std::size_t undecided = 0;
+  // --- Merge lane outcomes, in committee order ----------------------------
   for (std::size_t c = 0; c < member_committees; ++c) {
     CommitteeOutcome& co = outcome.committees[c];
     co.committee_id = static_cast<std::uint32_t>(c);
     co.member_count = participants[c].size();
     co.tx_count = shard_txs[c];
-    if (participants[c].empty()) continue;
-    co.formation_latency = formation[c];
-
-    auto cluster = std::make_unique<consensus::PbftCluster>(
-        simulator, network, config_.pbft, rng_.fork(), participants[c]);
-    for (std::size_t r = 0; r < participants[c].size(); ++r) {
-      cluster->set_speed_factor(r, verify_speeds_[participants[c][r]]);
-    }
-    // Shard payload: Merkle root over a synthetic per-shard block digest.
-    const crypto::Digest payload = crypto::Sha256::hash(
-        randomness_ + "|shard|" + std::to_string(c) + "|" +
-        std::to_string(shard_txs[c]));
-    ++undecided;
-    consensus::PbftCluster* raw = cluster.get();
-    simulator.schedule_at(formation[c], [raw, payload, &co, &undecided] {
-      raw->start_consensus(payload, [&co, &undecided](
-                                        const consensus::PbftResult& res) {
-        co.committed = res.committed;
-        co.consensus_latency = res.latency;
-        co.view_changes = res.view_changes;
-        --undecided;
-      });
-    });
-    clusters[c] = std::move(cluster);
   }
-
-  // Drive all member-committee instances to quiescence (horizon events in
-  // each cluster bound the run).
-  simulator.run();
-  assert(undecided == 0);
+  outcome.event_order_digest = kDigestBasis;
+  for (std::size_t c = 0; c < committees; ++c) {
+    outcome.event_order_digest =
+        digest_mix(outcome.event_order_digest, lane_digest[c]);
+    outcome.events_executed += lane_events[c];
+  }
 
   // --- Stage 4: final consensus -------------------------------------------
   std::vector<CommitteeOutcome> committed;
@@ -253,28 +318,40 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
     }
     const crypto::MerkleTree tree(std::move(leaves));
 
-    auto final_cluster = std::make_unique<consensus::PbftCluster>(
-        simulator, network, config_.pbft, rng_.fork(), participants[final_id]);
+    // The final committee runs on its own fresh fabric with the substreams
+    // pre-forked for it above, so its numbers are identical whether the
+    // member lanes ran serially or on a pool.
+    sim::Simulator final_sim;
+    final_sim.set_obs(obs_);
+    net::Network final_net(final_sim, streams[final_id].net, link,
+                           config_.num_nodes);
+    final_net.set_obs(obs_);
+    final_net.set_loss_probability(config_.message_loss_probability);
+    for (const net::NodeId node : participants[final_id]) {
+      if (node_failed[node] != 0) final_net.set_failed(node, true);
+    }
+    consensus::PbftCluster final_cluster(final_sim, final_net, config_.pbft,
+                                         streams[final_id].cluster,
+                                         participants[final_id]);
+    final_cluster.set_obs(obs_);
     for (std::size_t r = 0; r < participants[final_id].size(); ++r) {
-      final_cluster->set_speed_factor(r,
-                                      verify_speeds_[participants[final_id][r]]);
+      final_cluster.set_speed_factor(r,
+                                     verify_speeds_[participants[final_id][r]]);
     }
     bool done = false;
-    // The simulator clock may have run past `start` while draining member
-    // committees' trailing events; the final PBFT's *duration* is what
-    // matters, so fire it at the later of the two and keep the logical
-    // start for the makespan arithmetic.
-    const SimTime fire_at = std::max(start, simulator.now());
-    simulator.schedule_at(fire_at, [&, root = tree.root()] {
-      final_cluster->start_consensus(
+    final_sim.schedule_at(start, [&, root = tree.root()] {
+      final_cluster.start_consensus(
           root, [&](const consensus::PbftResult& res) {
             outcome.final_committed = res.committed;
             outcome.final_consensus_latency = res.latency;
             done = true;
           });
     });
-    simulator.run();
+    final_sim.run();
     assert(done);
+    outcome.event_order_digest =
+        digest_mix(outcome.event_order_digest, final_sim.order_digest());
+    outcome.events_executed += final_sim.events_executed();
     outcome.final_block_txs = total_txs;
     outcome.epoch_makespan = start + outcome.final_consensus_latency;
   }

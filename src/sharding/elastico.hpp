@@ -12,8 +12,12 @@
 //      network size (this is why Fig. 2(a)'s formation latency scales
 //      linearly with the number of nodes).
 //   3. Intra-committee consensus — each committee runs message-level PBFT
-//      (consensus/pbft) on the Merkle root of its shard's blocks. All
-//      committees run concurrently in one discrete-event simulator.
+//      (consensus/pbft) on the Merkle root of its shard's blocks. The
+//      committees are mutually independent until the final committee, so
+//      each one runs on its own simulator *lane* (private event fabric,
+//      private network, pre-forked RNG substream); lanes execute serially
+//      or on a worker pool — bitwise-identical results either way (the
+//      determinism contract, DESIGN.md §12).
 //   4. Final consensus — the designated final committee waits for shard
 //      submissions up to a deadline policy, then runs PBFT over the
 //      selected union to produce the global block. A pluggable
@@ -34,6 +38,7 @@
 #include "common/sim_time.hpp"
 #include "consensus/pbft.hpp"
 #include "net/network.hpp"
+#include "obs/context.hpp"
 #include "sim/simulator.hpp"
 #include "txn/trace.hpp"
 #include "txn/workload.hpp"
@@ -77,6 +82,14 @@ struct ElasticoConfig {
   double node_failure_probability = 0.0;
   /// Per-message loss probability on every link.
   double message_loss_probability = 0.0;
+  /// Worker threads for the stage-2/3 committee lanes. 0 runs the lanes
+  /// serially on the calling thread (the single-simulator reference path);
+  /// k >= 1 spawns a k-worker pool (the caller participates too). The
+  /// worker count NEVER changes results — every lane draws from an RNG
+  /// substream forked in committee order before any lane runs, and lane
+  /// outcomes merge back in committee order (same contract as
+  /// SeParams::max_pool_workers).
+  std::size_t lane_workers = 0;
 };
 
 /// Per-committee outcome of one epoch.
@@ -110,6 +123,14 @@ struct EpochOutcome {
   SimTime epoch_makespan = SimTime::zero();
   std::uint64_t final_block_txs = 0;
   std::string next_epoch_randomness;
+  /// Per-lane Simulator::order_digest values folded in committee order
+  /// (members first, then the final-consensus fabric) — equal across any
+  /// lane_workers setting iff every lane fired the same events in the same
+  /// order. The determinism matrix test diffs this across worker counts
+  /// and across MVCOM_OBS=ON/OFF builds.
+  std::uint64_t event_order_digest = 0;
+  /// Total DES events executed across all lanes this epoch.
+  std::uint64_t events_executed = 0;
 
   /// Bridges to the MVCom problem input: one ShardReport per committed
   /// member committee.
@@ -143,6 +164,13 @@ class ElasticoNetwork {
     return chain_;
   }
 
+  /// Attaches observability to every lane's simulator, network, and PBFT
+  /// cluster from the next run_epoch on. Counters are sharded atomics and
+  /// the trace ring append is mutex-protected, so parallel lanes may emit
+  /// concurrently; only the interleaving of trace events (never any epoch
+  /// result) depends on the worker count.
+  void set_obs(obs::ObsContext obs) noexcept { obs_ = obs; }
+
  private:
   [[nodiscard]] unsigned committee_bits_unsigned() const noexcept {
     return static_cast<unsigned>(config_.committee_bits);
@@ -150,6 +178,7 @@ class ElasticoNetwork {
 
   ElasticoConfig config_;
   Rng rng_;
+  obs::ObsContext obs_;
   std::vector<double> hash_rates_;    // per-node relative PoW speed
   std::vector<double> verify_speeds_; // per-node PBFT verification factor
   std::string randomness_;            // current epoch randomness

@@ -1,12 +1,22 @@
 #include "sim/simulator.hpp"
 
-#include <cassert>
-#include <memory>
+#include <bit>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 
 namespace mvcom::sim {
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  // Fold the value byte-granularity-free: one xor-multiply per 64-bit word
+  // keeps the per-event cost to a couple of cycles.
+  return (h ^ v) * kFnvPrime;
+}
+
+}  // namespace
 
 void Simulator::set_obs(obs::ObsContext obs) {
   obs_scheduled_ = nullptr;
@@ -25,40 +35,109 @@ void Simulator::set_obs(obs::ObsContext obs) {
   }
 }
 
-EventId Simulator::schedule_at(SimTime at, Callback cb) {
+std::uint32_t Simulator::arm_slot(SimTime at) {
   if (at < now_) {
     throw std::logic_error("Simulator::schedule_at: cannot schedule in the past");
   }
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq, std::make_shared<Callback>(std::move(cb))});
-  live_.insert(seq);
+  std::uint32_t index;
+  if (!free_.empty()) {
+    index = free_.back();
+    free_.pop_back();
+  } else {
+    // Every allocated slot is busy: grow the slab by one chunk, take its
+    // first slot, and hand the rest to the free list (descending, so low
+    // indices are recycled first).
+    const std::size_t used = chunks_.size() * kChunkSize;
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    for (std::size_t i = kChunkSize - 1; i > 0; --i) {
+      free_.push_back(static_cast<std::uint32_t>(used + i));
+    }
+    index = static_cast<std::uint32_t>(used);
+  }
+  heap_push(HeapEntry{at, next_seq_++, index, slot(index).gen});
+  ++live_;
   if (obs_scheduled_ != nullptr) obs_scheduled_->inc();
-  return EventId{seq};
+  return index;
+}
+
+void Simulator::retire_slot(std::uint32_t index) noexcept {
+  Slot& s = slot(index);
+  ++s.gen;
+  s.cb.reset();
+  free_.push_back(index);
 }
 
 void Simulator::cancel(EventId id) {
-  // Only live events grow the tombstone set; cancelling a fired or unknown
-  // id is a no-op (protocol timers are routinely disarmed late).
-  if (live_.erase(id.value) > 0) {
-    cancelled_.insert(id.value);
-    if (obs_cancelled_ != nullptr) obs_cancelled_->inc();
+  // Only ids whose generation matches the slot's current incarnation are
+  // live; cancelling a fired or unknown id is a no-op (protocol timers are
+  // routinely disarmed late). The stale heap entry is skipped lazily.
+  const auto index = static_cast<std::uint32_t>(id.value >> 32);
+  const auto gen = static_cast<std::uint32_t>(id.value);
+  if (gen == 0 || index >= chunks_.size() * kChunkSize) return;
+  Slot& s = slot(index);
+  if (s.gen != gen || !s.cb.armed()) return;
+  retire_slot(index);
+  --live_;
+  if (obs_cancelled_ != nullptr) obs_cancelled_->inc();
+}
+
+void Simulator::heap_push(const HeapEntry& e) {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!entry_before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void Simulator::heap_pop_root() noexcept {
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = (i << 2) + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (entry_before(heap_[c], heap_[best])) best = c;
+    }
+    if (!entry_before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
   }
 }
 
 bool Simulator::fire_next() {
-  while (!queue_.empty()) {
-    Entry top = queue_.top();
-    queue_.pop();
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
-    }
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_[0];
+    heap_pop_root();
+    Slot& s = slot(top.slot);
+    if (s.gen != top.gen) continue;  // cancelled: stale tombstone
     assert(top.at >= now_);
     now_ = top.at;
-    live_.erase(top.seq);
+    ++s.gen;  // disarm: the event's id is dead for cancel() from here on
+    --live_;
     ++executed_;
+    digest_ = fnv_mix(digest_, top.seq);
+    digest_ = fnv_mix(digest_, std::bit_cast<std::uint64_t>(top.at.seconds()));
     if (obs_executed_ != nullptr) obs_executed_->inc();
-    (*top.cb)();
+    // The callback stays in its slot for the call (slots are stable even if
+    // the callback schedules new events); the slot returns to the free list
+    // only afterwards, so reentrant scheduling cannot reuse it mid-call.
+    struct Retire {
+      Simulator* sim;
+      std::uint32_t index;
+      ~Retire() {
+        Slot& sl = sim->slot(index);
+        sl.cb.reset();
+        sim->free_.push_back(index);
+      }
+    } retire{this, top.slot};
+    s.cb.invoke();
     return true;
   }
   return false;
@@ -72,12 +151,11 @@ std::size_t Simulator::run(std::size_t limit) {
 
 std::size_t Simulator::run_until(SimTime horizon) {
   std::size_t fired = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled tombstones at the head so the peeked time is live.
-    Entry top = queue_.top();
-    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
-      queue_.pop();
-      cancelled_.erase(it);
+  while (!heap_.empty()) {
+    // Drop stale tombstones at the head so the peeked time is live.
+    const HeapEntry& top = heap_[0];
+    if (slot(top.slot).gen != top.gen) {
+      heap_pop_root();
       continue;
     }
     if (top.at > horizon) break;

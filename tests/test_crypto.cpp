@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -175,6 +177,38 @@ TEST(PowTest, UnsolvableTargetGivesUp) {
   // leading64_below = 1 is ~2^-64 per attempt; 100 tries will fail.
   const PowTarget target{1};
   EXPECT_FALSE(mvcom::crypto::solve("r", "id", target, 100).has_value());
+}
+
+TEST(PowTest, MidstateMatchesFullPreimageHash) {
+  // The midstate path (prefix absorbed once, nonce re-hashed per attempt)
+  // must be bit-identical to hashing the documented preimage from scratch,
+  // across nonce widths including the 20-digit maximum.
+  const mvcom::crypto::PowMidstate midstate("epoch-rand", "node-7");
+  for (const std::uint64_t nonce :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{9}, std::uint64_t{10},
+        std::uint64_t{123456789}, std::uint64_t{0xffffffffULL},
+        std::numeric_limits<std::uint64_t>::max()}) {
+    const Digest naive = Sha256::hash("epoch-rand|node-7|" +
+                                      std::to_string(nonce));
+    EXPECT_EQ(midstate.digest(nonce), naive) << "nonce " << nonce;
+    EXPECT_EQ(mvcom::crypto::pow_digest("epoch-rand", "node-7", nonce), naive)
+        << "nonce " << nonce;
+  }
+}
+
+TEST(PowTest, MidstateSolveAgreesWithVerifier) {
+  // solve() grinds through the midstate; whatever it finds must pass the
+  // from-scratch verifier, and the winning nonce must be the first one.
+  const PowTarget target = PowTarget::from_difficulty_bits(10);
+  const auto solution = mvcom::crypto::solve("epoch-rand", "node-3", target,
+                                             1u << 16);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(mvcom::crypto::verify("epoch-rand", "node-3", target, *solution));
+  for (std::uint64_t nonce = 0; nonce < solution->nonce; ++nonce) {
+    EXPECT_GE(mvcom::crypto::leading64(
+                  mvcom::crypto::pow_digest("epoch-rand", "node-3", nonce)),
+              target.leading64_below);
+  }
 }
 
 TEST(PowTest, CommitteeAssignmentStaysInRange) {

@@ -4,7 +4,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -165,6 +169,128 @@ TEST(SimulatorTest, EventsCanScheduleRecursively) {
   sim.run();
   EXPECT_EQ(depth, 100);
   EXPECT_DOUBLE_EQ(sim.now().seconds(), 99.0);
+}
+
+// --- Generation-stamped slot semantics ------------------------------------
+
+TEST(SimulatorTest, StaleIdCannotCancelRecycledSlot) {
+  Simulator sim;
+  bool first = false;
+  bool second = false;
+  const EventId stale = sim.schedule_at(SimTime(1.0), [&] { first = true; });
+  sim.cancel(stale);  // slot goes back to the free list, generation bumped
+  const EventId fresh = sim.schedule_at(SimTime(1.0), [&] { second = true; });
+  sim.cancel(stale);  // must NOT hit the recycled slot's new incarnation
+  sim.run();
+  EXPECT_FALSE(first);
+  EXPECT_TRUE(second);
+  EXPECT_NE(stale.value, fresh.value);
+}
+
+TEST(SimulatorTest, SlotChurnAcrossChunkBoundaries) {
+  // Waves larger than one 64-slot chunk force slab growth, then recycling;
+  // counts must stay exact through heavy slot reuse.
+  Simulator sim;
+  std::size_t fired = 0;
+  for (int wave = 0; wave < 8; ++wave) {
+    for (int i = 0; i < 150; ++i) {
+      sim.schedule_after(SimTime(1.0 + i), [&] { ++fired; });
+    }
+    sim.run();
+    EXPECT_TRUE(sim.empty());
+  }
+  EXPECT_EQ(fired, 8u * 150u);
+  EXPECT_EQ(sim.events_executed(), 8u * 150u);
+}
+
+TEST(SimulatorTest, HeapOrderingStressMatchesReferenceSort) {
+  // Adversarial mix of timestamps (with many duplicates) against a stable
+  // reference sort — the 4-ary heap plus seq tie-break must agree exactly.
+  Simulator sim;
+  std::vector<int> fired_order;
+  std::vector<std::pair<double, int>> reference;
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double at = static_cast<double>((state >> 33) % 37);
+    reference.emplace_back(at, i);
+    sim.schedule_at(SimTime(at), [&fired_order, i] { fired_order.push_back(i); });
+  }
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  sim.run();
+  ASSERT_EQ(fired_order.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(fired_order[i], reference[i].second) << "position " << i;
+  }
+}
+
+TEST(SimulatorTest, LargeCapturesFallBackToHeapAndStayIntact) {
+  // A capture bigger than EventCallback::kInlineCapacity takes the boxed
+  // path; the payload must arrive unscathed and cancel must destroy it.
+  Simulator sim;
+  std::array<double, 32> big{};
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<double>(i);
+  static_assert(sizeof(big) > mvcom::sim::EventCallback::kInlineCapacity);
+  double sum = 0.0;
+  sim.schedule_at(SimTime(1.0), [big, &sum] {
+    for (const double v : big) sum += v;
+  });
+  const EventId doomed =
+      sim.schedule_at(SimTime(2.0), [big, &sum] { sum += 1e9 + big[0]; });
+  sim.cancel(doomed);  // boxed callback destroyed without running
+  sim.run();
+  EXPECT_DOUBLE_EQ(sum, 31.0 * 32.0 / 2.0);
+}
+
+TEST(SimulatorTest, RunUntilDrainsTombstonesAndAdvancesClock) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(SimTime(1.0), [] {});
+  const EventId b = sim.schedule_at(SimTime(2.0), [] {});
+  sim.cancel(a);
+  sim.cancel(b);
+  EXPECT_EQ(sim.run_until(SimTime(5.0)), 0u);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_DOUBLE_EQ(sim.now().seconds(), 5.0);
+}
+
+// --- Event-order digest ----------------------------------------------------
+
+TEST(SimulatorTest, OrderDigestIsReproducible) {
+  const auto run_workload = [] {
+    Simulator sim;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule_at(SimTime(static_cast<double>((i * 7) % 13)), [] {});
+    }
+    sim.run();
+    return sim.order_digest();
+  };
+  EXPECT_EQ(run_workload(), run_workload());
+}
+
+TEST(SimulatorTest, OrderDigestDistinguishesScheduleOrder) {
+  // Same event *set*, different insertion order => different FIFO seq
+  // assignment => different digest. This is exactly the sensitivity the
+  // lane determinism matrix relies on.
+  Simulator forward;
+  Simulator backward;
+  for (int i = 0; i < 8; ++i) {
+    forward.schedule_at(SimTime(1.0), [] {});
+    backward.schedule_at(SimTime(static_cast<double>(8 - i)), [] {});
+  }
+  forward.run();
+  backward.run();
+  EXPECT_NE(forward.order_digest(), backward.order_digest());
+  EXPECT_EQ(forward.events_executed(), backward.events_executed());
+}
+
+TEST(SimulatorTest, FreshSimulatorsShareTheDigestBasis) {
+  Simulator a;
+  Simulator b;
+  EXPECT_EQ(a.order_digest(), b.order_digest());
+  a.schedule_at(SimTime(1.0), [] {});
+  a.run();
+  EXPECT_NE(a.order_digest(), b.order_digest());
 }
 
 }  // namespace

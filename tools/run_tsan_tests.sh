@@ -3,7 +3,11 @@
 # build tree and runs the full tier-1 ctest suite under it. The parallel SE
 # execution path (SeParams::parallel_execution) is exercised by
 # tests/test_se_parallel.cpp, including a join/leave storm interleaved with
-# pool-driven stepping.
+# pool-driven stepping. The lane-parallel Elastico epoch
+# (ElasticoConfig::lane_workers) is exercised by tests/test_elastico_lanes.cpp
+# at worker counts {1, 2, 8} — per-lane simulators/networks plus the shared
+# obs sinks run concurrently there, so races in the lane substrate surface in
+# this suite.
 #
 # Usage: tools/run_tsan_tests.sh [extra ctest args…]
 set -euo pipefail

@@ -52,7 +52,8 @@ struct RunShape {
 struct PendingShard {
   std::vector<std::size_t> block_indices;
   std::uint64_t txs = 0;
-  double latency = 0.0;
+  double latency = 0.0;      // effective latency relative to this epoch's start
+  double submit_time = 0.0;  // absolute two-phase completion instant
   bool carried = false;
 };
 
@@ -74,12 +75,18 @@ RunTotals run(const Trace& trace, Policy policy, std::uint64_t seed,
 
   RunTotals totals;
   std::vector<PendingShard> carried;
-  double prev_ddl = 0.0;
+  double prev_commit = 0.0;  // realized boundary: previous final-block commit
 
   std::size_t next_block = 0;
   for (std::size_t epoch = 0; epoch < shape.epochs; ++epoch) {
     const double window_end =
         trace_start + static_cast<double>(epoch + 1) * window;
+    // The final committee cannot start epoch e before its own previous block
+    // committed — when stage-4 consensus overruns the window, the realized
+    // boundary is that commit instant, not the nominal window edge. Every
+    // latency below is measured from here (the old `l − prev_ddl` rebase
+    // ignored the final-consensus overrun and under-aged carried shards).
+    const double start = std::max(window_end, prev_commit);
 
     std::vector<std::size_t> fresh;
     while (next_block < trace.blocks.size() &&
@@ -87,12 +94,13 @@ RunTotals run(const Trace& trace, Policy policy, std::uint64_t seed,
       fresh.push_back(next_block++);
     }
 
-    // Carried shards re-enter with the Fig.-3 latency rebase; fresh blocks
-    // are dealt round-robin over new committees.
+    // Carried shards re-enter with the Fig.-3 latency rebase against the
+    // realized boundary; fresh blocks are dealt round-robin over new
+    // committees.
     std::vector<PendingShard> shards = std::move(carried);
     carried.clear();
     for (PendingShard& s : shards) {
-      s.latency = std::max(0.0, s.latency - prev_ddl);
+      s.latency = std::max(0.0, s.submit_time - start);
       s.carried = true;
     }
     std::vector<PendingShard> dealt(shape.committees);
@@ -102,7 +110,10 @@ RunTotals run(const Trace& trace, Policy policy, std::uint64_t seed,
     for (PendingShard& s : dealt) {
       if (s.block_indices.empty()) continue;
       const auto lat = mvcom::txn::sample_two_phase_latency(rng, wc);
-      s.latency = lat.formation + lat.consensus;
+      // Committees form as soon as the window closes; submission is absolute
+      // so a later carry rebases exactly, however far consensus overran.
+      s.submit_time = window_end + lat.formation + lat.consensus;
+      s.latency = std::max(0.0, s.submit_time - start);
       shards.push_back(std::move(s));
     }
     if (shards.empty()) continue;
@@ -148,7 +159,7 @@ RunTotals run(const Trace& trace, Policy policy, std::uint64_t seed,
     for (std::size_t i = 0; i < shards.size(); ++i) {
       if (keep[i]) ddl = std::max(ddl, shards[i].latency);
     }
-    const double commit = window_end + ddl + kFinalConsensusSeconds;
+    const double commit = start + ddl + kFinalConsensusSeconds;
     for (std::size_t i = 0; i < shards.size(); ++i) {
       if (keep[i]) {
         ShardBlocks provenance;
@@ -161,7 +172,7 @@ RunTotals run(const Trace& trace, Policy policy, std::uint64_t seed,
         carried.push_back(std::move(shards[i]));
       }
     }
-    prev_ddl = ddl;
+    prev_commit = commit;
   }
 
   for (const PendingShard& s : carried) totals.deferred_txs += s.txs;

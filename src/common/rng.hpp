@@ -72,6 +72,20 @@ class Rng {
   /// tree of per-component engines.
   Rng fork() noexcept { return Rng((*this)()); }
 
+  /// Derives the `index`-th independent substream of `seed` *without* any
+  /// shared engine state. fork() is inherently order-dependent — each child
+  /// seed is a draw from the parent — which is fine inside one epoch where
+  /// fork order is fixed, but breaks down when overlapped epochs must draw
+  /// concurrently (the streaming pipeline runs formation for epoch e+1 while
+  /// epoch e is still scheduling). stream() instead jumps the SplitMix64
+  /// seeder ahead by `index` increments of its Weyl constant, so
+  /// stream(seed, i) for distinct i are decorrelated, reproducible in any
+  /// order, and never alias regardless of how many draws other streams made.
+  static Rng stream(std::uint64_t seed, std::uint64_t index) noexcept {
+    SplitMix64 sm(seed + 0x9e3779b97f4a7c15ULL * index);
+    return Rng(sm.next());
+  }
+
   // ---- Distribution transforms (portable, fully specified) ----
 
   /// Uniform real in [0, 1) with 53 bits of precision.

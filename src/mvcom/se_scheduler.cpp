@@ -687,6 +687,26 @@ void SeScheduler::flush_obs(std::size_t block, bool shared) {
   }
 }
 
+double SeScheduler::warm_start(const Selection& seed) {
+  if (seed.size() != instance_.size()) return kNaN;
+  const SelectionStats st = instance_.stats(seed);
+  if (!instance_.capacity_ok(st) || !instance_.n_min_ok(st)) return kNaN;
+  const double utility = instance_.utility(seed);
+  const SwapSet incumbent(seed);
+  for (SeExplorer& explorer : explorers_) {
+    explorer.adopt_if_better(incumbent, utility);
+  }
+  warm_floor_selection_ = seed;
+  warm_floor_utility_ = utility;
+  if (auto* t = obs_.trace()) {
+    t->instant("se", "se/warm_start",
+               {{"utility", utility},
+                {"chosen", static_cast<double>(st.chosen)},
+                {"txs", static_cast<double>(st.txs)}});
+  }
+  return utility;
+}
+
 double SeScheduler::current_utility() const {
   double best = kNaN;
   for (const SeExplorer& explorer : explorers_) {
@@ -724,6 +744,12 @@ SeResult SeScheduler::run() {
   result.utility_trace.reserve(params_.max_iterations);
   double best_utility = -kInf;
   Selection best_selection;
+  if (!warm_floor_selection_.empty()) {
+    // Warm start: the seed is the floor. Exploration must strictly beat it
+    // (by convergence_tol) before the reported best moves off the seed.
+    best_utility = warm_floor_utility_;
+    best_selection = warm_floor_selection_;
+  }
   std::size_t stale = 0;
   bool done = false;
 
@@ -796,6 +822,9 @@ SeResult SeScheduler::run() {
 }
 
 void SeScheduler::rebind_all(std::optional<std::uint32_t> removed_index) {
+  // The warm floor is index-aligned with the pre-mutation instance; drop it.
+  warm_floor_selection_.clear();
+  warm_floor_utility_ = 0.0;
   layout_.rebuild(instance_, params_);
   for (SeExplorer& explorer : explorers_) {
     explorer.rebind(&instance_, &layout_, removed_index);

@@ -351,7 +351,21 @@ class SeScheduler {
   /// The shared per-instance layout (cardinality family, candidate indexes).
   [[nodiscard]] const SeLayout& layout() const noexcept { return layout_; }
 
-  /// Online dynamics (Alg. 1 lines 8–12). Both reset convergence tracking.
+  /// Cross-epoch warm start: seeds every explorer's matching-cardinality
+  /// chain (plus the grid-adjacent cardinalities) from `seed` through the
+  /// same adopt_if_better machinery the §IV-D share points use, and records
+  /// the seed as a floor — run() initializes its best from the floor, so a
+  /// warm-started run can never report a feasible result worse than its
+  /// seed. `seed` must be index-aligned with the *current* instance (the
+  /// streaming pipeline re-derives it from the previous epoch's chosen
+  /// subset plus the joined/left deltas before calling). Returns the seed's
+  /// utility when accepted; NaN when `seed` is mis-sized or infeasible here,
+  /// in which case the scheduler behaves exactly as a cold start.
+  double warm_start(const Selection& seed);
+
+  /// Online dynamics (Alg. 1 lines 8–12). Both reset convergence tracking
+  /// and drop any warm-start floor (it is index-aligned with the old
+  /// instance).
   void add_committee(const Committee& committee);
   /// Removes by committee id (e.g. on failure). No-op for unknown ids.
   void remove_committee(std::uint32_t committee_id);
@@ -387,6 +401,10 @@ class SeScheduler {
   SeLayout layout_;
   std::vector<SeExplorer> explorers_;
   std::size_t iteration_ = 0;
+  /// Warm-start floor (empty selection = cold start). run() starts its best
+  /// from here, making warm ≥ seed structural rather than probabilistic.
+  Selection warm_floor_selection_;
+  double warm_floor_utility_ = 0.0;
   std::unique_ptr<common::ThreadPool> pool_;  // non-null iff parallel mode
 
   obs::ObsContext obs_;

@@ -1,0 +1,448 @@
+#include "pipeline/epoch_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+#include "common/thread_pool.hpp"
+#include "consensus/pbft.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/pow.hpp"
+#include "net/latency.hpp"
+#include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+#include "txn/age.hpp"
+#include "txn/workload.hpp"
+
+namespace mvcom::pipeline {
+
+namespace {
+
+using common::Rng;
+using common::SimTime;
+
+constexpr std::uint64_t kDigestBasis = 0xcbf29ce484222325ULL;
+
+std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) noexcept {
+  return (h ^ v) * 0x100000001b3ULL;
+}
+
+std::uint64_t bits_of(double v) noexcept {
+  std::uint64_t u = 0;
+  static_assert(sizeof u == sizeof v);
+  std::memcpy(&u, &v, sizeof u);
+  return u;
+}
+
+/// Per-epoch RNG stream slots. Every engine the pipeline uses is derived as
+/// Rng::stream(seed, 4·epoch + slot) — a pure function of (seed, epoch) —
+/// so overlapped epochs never share or reorder a stream (DESIGN.md §13).
+enum StreamSlot : std::uint64_t {
+  kFormationSlot = 0,  // dealing + two-phase latency sampling (+ PoW grind)
+  kSeSeedSlot = 1,     // SE scheduler seed
+  kFinalNetSlot = 2,   // stage-4 network fabric
+  kFinalPbftSlot = 3,  // stage-4 PBFT protocol randomness
+};
+
+std::uint64_t stream_index(std::size_t epoch, StreamSlot slot) noexcept {
+  return 4 * static_cast<std::uint64_t>(epoch) + slot;
+}
+
+std::string epoch_randomness(std::uint64_t seed, std::size_t epoch) {
+  return "serve|" + std::to_string(seed) + "|" + std::to_string(epoch);
+}
+
+/// Greedy cross-epoch warm seed: descending-gain fill under Ĉ, then a
+/// smallest-shards top-up toward N_min. Deterministic (ties broken by
+/// index) and O(I log I) — cheap next to one SE iteration block.
+core::Selection greedy_seed(const core::EpochInstance& instance) {
+  const std::size_t n = instance.size();
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    const double ga = instance.gain(a);
+    const double gb = instance.gain(b);
+    if (ga != gb) return ga > gb;
+    return a < b;
+  });
+  core::Selection sel(n, 0);
+  std::uint64_t used = 0;
+  std::size_t chosen = 0;
+  for (const std::uint32_t i : order) {
+    const std::uint64_t txs = instance.committees()[i].txs;
+    if (instance.gain(i) <= 0.0 && chosen >= instance.n_min()) break;
+    if (used + txs > instance.capacity()) continue;
+    sel[i] = 1;
+    used += txs;
+    ++chosen;
+  }
+  if (chosen < instance.n_min()) {
+    // Top up with the smallest remaining shards; bail out (empty seed) when
+    // even that cannot reach N_min — the instance is then infeasible for
+    // the SE scheduler too.
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                const std::uint64_t ta = instance.committees()[a].txs;
+                const std::uint64_t tb = instance.committees()[b].txs;
+                if (ta != tb) return ta < tb;
+                return a < b;
+              });
+    for (const std::uint32_t i : order) {
+      if (chosen >= instance.n_min()) break;
+      if (sel[i] != 0) continue;
+      const std::uint64_t txs = instance.committees()[i].txs;
+      if (used + txs > instance.capacity()) continue;
+      sel[i] = 1;
+      used += txs;
+      ++chosen;
+    }
+    if (chosen < instance.n_min()) return {};
+  }
+  if (chosen == 0) return {};
+  return sel;
+}
+
+}  // namespace
+
+EpochPipeline::EpochPipeline(const txn::Trace& trace, PipelineConfig config)
+    : trace_(&trace), config_(std::move(config)) {
+  if (trace.blocks.empty()) {
+    throw std::invalid_argument("EpochPipeline: trace is empty");
+  }
+  if (config_.epochs == 0 || config_.committees == 0) {
+    throw std::invalid_argument(
+        "EpochPipeline: epochs and committees must be >= 1");
+  }
+  trace_start_ = trace.blocks.front().btime;
+  const double span = trace.blocks.back().btime - trace_start_ + 1.0;
+  window_ = span / static_cast<double>(config_.epochs);
+}
+
+void EpochPipeline::set_obs(obs::ObsContext obs) {
+  obs_ = obs;
+  obs_epochs_ = nullptr;
+  obs_committed_ = nullptr;
+  obs_carried_ = nullptr;
+  obs_utility_ = nullptr;
+  obs_commit_time_ = nullptr;
+  obs::MetricsRegistry* m = obs_.metrics();
+  if (m == nullptr) return;
+  obs_epochs_ = &m->counter("mvcom_pipeline_epochs_total",
+                            "Epochs the streaming pipeline committed");
+  obs_committed_ = &m->counter("mvcom_pipeline_txs_total",
+                               "TXs by scheduling outcome per epoch",
+                               {{"result", "committed"}});
+  obs_carried_ = &m->counter("mvcom_pipeline_txs_total",
+                             "TXs by scheduling outcome per epoch",
+                             {{"result", "carried"}});
+  obs_utility_ = &m->gauge("mvcom_pipeline_epoch_utility",
+                           "Eq.-(2) utility of the latest committed epoch");
+  obs_commit_time_ = &m->gauge("mvcom_pipeline_commit_time_seconds",
+                               "Commit instant of the latest final block");
+}
+
+EpochPipeline::FormedEpoch EpochPipeline::form_epoch(std::size_t epoch) const {
+  FormedEpoch out;
+  out.epoch = epoch;
+  out.window_end =
+      trace_start_ + static_cast<double>(epoch + 1) * window_;
+  const double window_begin =
+      trace_start_ + static_cast<double>(epoch) * window_;
+
+  // The trace is btime-sorted, so the epoch window is a contiguous slice —
+  // found by binary search, not a shared cursor, which is what lets stage A
+  // run for any epoch independently of every other.
+  const auto& blocks = trace_->blocks;
+  const auto by_btime = [](const txn::BlockRecord& b, double t) {
+    return b.btime < t;
+  };
+  const auto first =
+      epoch == 0 ? blocks.begin()
+                 : std::lower_bound(blocks.begin(), blocks.end(), window_begin,
+                                    by_btime);
+  const auto last = std::lower_bound(blocks.begin(), blocks.end(),
+                                     out.window_end, by_btime);
+
+  // Deal fresh blocks round-robin over this epoch's member committees.
+  std::vector<PendingShard> dealt(config_.committees);
+  std::size_t position = 0;
+  for (auto it = first; it != last; ++it, ++position) {
+    dealt[position % config_.committees].block_indices.push_back(
+        static_cast<std::size_t>(it - blocks.begin()));
+  }
+
+  Rng rng = Rng::stream(config_.seed,
+                        stream_index(epoch, kFormationSlot));
+  txn::WorkloadConfig wc;
+  wc.num_committees = config_.committees;
+  const std::string randomness = epoch_randomness(config_.seed, epoch);
+
+  out.formation_digest = kDigestBasis;
+  for (std::size_t c = 0; c < dealt.size(); ++c) {
+    PendingShard& s = dealt[c];
+    if (s.block_indices.empty()) continue;
+    const auto lat = txn::sample_two_phase_latency(rng, wc);
+    // Committees form as soon as the window closes; submission is absolute
+    // so later carries rebase exactly, however far stage 4 overran.
+    s.submit_time = out.window_end + lat.formation + lat.consensus;
+    s.id = static_cast<std::uint32_t>(epoch * config_.committees + c);
+    s.txs = 0;
+    crypto::Sha256 h;
+    h.update("shard|");
+    h.update(randomness);
+    for (const std::size_t b : s.block_indices) {
+      s.txs += blocks[b].tx_count;
+      h.update("|");
+      h.update(blocks[b].bhash);
+    }
+    s.root = h.finalize();
+
+    std::uint64_t nonce = 0;
+    if (config_.pow_grind_bits > 0) {
+      // Real PoW grinding through the cached midstate — stage A becomes
+      // genuinely CPU-bound, and the winning nonce witnesses the work in
+      // the epoch digest. The difficulty is a model knob, so a bounded
+      // give-up keeps the pipeline deterministic either way.
+      const auto target =
+          crypto::PowTarget::from_difficulty_bits(config_.pow_grind_bits);
+      const std::uint64_t budget =
+          64 * (std::uint64_t{1} << std::min(config_.pow_grind_bits, 24));
+      const auto solution =
+          crypto::solve(randomness, "committee-" + std::to_string(s.id),
+                        target, budget);
+      if (solution) nonce = solution->nonce + 1;  // +1: distinguish "none"
+    }
+    out.formation_digest = digest_mix(out.formation_digest, s.id);
+    out.formation_digest = digest_mix(out.formation_digest, s.txs);
+    out.formation_digest =
+        digest_mix(out.formation_digest, bits_of(s.submit_time));
+    out.formation_digest = digest_mix(out.formation_digest, nonce);
+    out.shards.push_back(std::move(s));
+  }
+  return out;
+}
+
+EpochReport EpochPipeline::schedule_epoch(FormedEpoch&& formed) {
+  EpochReport report;
+  report.epoch = formed.epoch;
+  report.window_end = formed.window_end;
+  report.warm_seed_utility = std::numeric_limits<double>::quiet_NaN();
+
+  // Realized boundary: the final committee cannot start this epoch before
+  // its previous block committed. Every latency below is relative to here.
+  const double start = std::max(formed.window_end, prev_commit_);
+  report.start = start;
+
+  std::vector<PendingShard> shards = std::move(carried_);
+  carried_.clear();
+  for (PendingShard& s : formed.shards) {
+    totals_.ingested_txs += s.txs;
+    shards.push_back(std::move(s));
+  }
+  report.shards_pending = shards.size();
+
+  core::Selection keep(shards.size(), 0);
+  std::uint64_t se_iterations = 0;
+  if (!shards.empty()) {
+    std::uint64_t pending_txs = 0;
+    for (const PendingShard& s : shards) pending_txs += s.txs;
+    std::vector<core::Committee> committees;
+    committees.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      const double effective =
+          std::max(0.0, shards[i].submit_time - start);
+      committees.push_back({static_cast<std::uint32_t>(i), shards[i].txs,
+                            effective});
+    }
+    const auto capacity = static_cast<std::uint64_t>(
+        config_.capacity_fraction * static_cast<double>(pending_txs));
+    const core::EpochInstance instance(std::move(committees), config_.alpha,
+                                       capacity, config_.n_min);
+    const std::uint64_t se_seed =
+        Rng::stream(config_.seed, stream_index(formed.epoch, kSeSeedSlot))();
+    core::SeScheduler scheduler(instance, config_.se, se_seed);
+    if (config_.warm_start) {
+      const core::Selection seed_sel = greedy_seed(instance);
+      if (!seed_sel.empty()) {
+        report.warm_seed_utility = scheduler.warm_start(seed_sel);
+      }
+    }
+    const core::SeResult result = scheduler.run();
+    se_iterations = result.iterations;
+    if (result.feasible) {
+      keep = result.best;
+      report.feasible = true;
+      report.utility = result.utility;
+    }
+  }
+  report.se_iterations = se_iterations;
+
+  // DDL = slowest selected submission, relative to the realized boundary.
+  double ddl = 0.0;
+  std::vector<crypto::Digest> selected_roots;
+  std::uint64_t committed_txs = 0;
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i < keep.size() && keep[i] != 0) {
+      ddl = std::max(ddl, std::max(0.0, shards[i].submit_time - start));
+      selected_roots.push_back(shards[i].root);
+      committed_txs += shards[i].txs;
+    }
+  }
+
+  // Stage 4 — final consensus as a real discrete-event PBFT round over the
+  // Merkle root of the selected shard roots. Its event-order digest is the
+  // epoch's determinism witness.
+  sim::Simulator des;
+  const auto link = std::make_shared<net::LognormalLatency>(SimTime(0.15),
+                                                            SimTime(0.05));
+  net::Network network(
+      des, Rng::stream(config_.seed, stream_index(formed.epoch, kFinalNetSlot)),
+      link, config_.final_replicas);
+  std::vector<net::NodeId> members(config_.final_replicas);
+  std::iota(members.begin(), members.end(), net::NodeId{0});
+  consensus::PbftCluster cluster(
+      des, network, consensus::PbftConfig{},
+      Rng::stream(config_.seed, stream_index(formed.epoch, kFinalPbftSlot)),
+      members);
+  const crypto::Digest payload = crypto::MerkleTree(selected_roots).root();
+  consensus::PbftResult final_result;
+  cluster.start_consensus(payload,
+                          [&](const consensus::PbftResult& r) {
+                            final_result = r;
+                          });
+  des.run();
+  const double final_latency =
+      final_result.committed ? final_result.latency.seconds()
+                             : consensus::PbftConfig{}.horizon.seconds();
+  report.des_events = des.events_executed();
+
+  const double commit = start + ddl + final_latency;
+  report.commit = commit;
+  prev_commit_ = commit;
+
+  // Per-TX age accounting for the committed shards; refused shards carry
+  // forward with their absolute submission instants intact.
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    if (i < keep.size() && keep[i] != 0) {
+      txn::ShardBlocks provenance;
+      provenance.committee_id = shards[i].id;
+      provenance.block_indices = shards[i].block_indices;
+      const txn::AgeProfile age =
+          txn::shard_age_profile(*trace_, provenance, commit);
+      report.total_age += age.total_age;
+      ++report.shards_committed;
+    } else {
+      PendingShard& s = shards[i];
+      s.carries += 1;
+      totals_.max_shard_carries =
+          std::max(totals_.max_shard_carries, s.carries);
+      report.carried_txs += s.txs;
+      carried_.push_back(std::move(s));
+    }
+  }
+  report.committed_txs = committed_txs;
+  totals_.committed_txs += committed_txs;
+  totals_.total_age += report.total_age;
+
+  chain_.extend(std::move(selected_roots), committed_txs, commit,
+                "final-committee", epoch_randomness(config_.seed, formed.epoch));
+
+  // Epoch digest: formation draws + DES event order + the selection itself.
+  std::uint64_t digest = kDigestBasis;
+  digest = digest_mix(digest, formed.formation_digest);
+  digest = digest_mix(digest, des.order_digest());
+  digest = digest_mix(digest, report.des_events);
+  digest = digest_mix(digest, bits_of(report.utility));
+  digest = digest_mix(digest, bits_of(commit));
+  digest = digest_mix(digest, committed_txs);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] != 0) digest = digest_mix(digest, i);
+  }
+  report.event_order_digest = digest;
+  totals_.digest = digest_mix(totals_.digest, digest);
+
+  if (obs_epochs_ != nullptr) {
+    obs_epochs_->inc();
+    obs_committed_->add(committed_txs);
+    obs_carried_->add(report.carried_txs);
+    obs_utility_->set(report.utility);
+    obs_commit_time_->set(commit);
+  }
+  if (auto* t = obs_.trace()) {
+    t->complete("pipeline", "pipeline/epoch", commit - start,
+                {{"epoch", static_cast<double>(report.epoch)},
+                 {"utility", report.utility},
+                 {"committed_txs", static_cast<double>(committed_txs)},
+                 {"carried_txs", static_cast<double>(report.carried_txs)}});
+  }
+  return report;
+}
+
+PipelineTotals EpochPipeline::run(
+    const std::function<void(const EpochReport&)>& on_epoch) {
+  totals_ = PipelineTotals{};
+  totals_.digest = kDigestBasis;
+  carried_.clear();
+  prev_commit_ = 0.0;
+  chain_ = chain::RootChain();
+
+  const std::size_t depth = std::max<std::size_t>(1, config_.overlap_depth);
+  std::vector<std::optional<FormedEpoch>> formed(config_.epochs);
+  std::unique_ptr<common::ThreadPool> pool;
+  if (depth > 1 && config_.workers > 0) {
+    pool = std::make_unique<common::ThreadPool>(config_.workers);
+  }
+
+  // Pipeline prologue: pre-form the first depth−1 epochs so every steady
+  // step can pair one stage B with one lookahead stage A.
+  for (std::size_t e = 0; e + 1 < depth && e < config_.epochs; ++e) {
+    formed[e] = form_epoch(e);
+  }
+
+  for (std::size_t k = 0; k < config_.epochs; ++k) {
+    if (stop_requested()) {
+      totals_.stopped_early = true;
+      break;
+    }
+    EpochReport report;
+    if (depth == 1) {
+      // Sequential reference: form-then-schedule, one epoch at a time.
+      report = schedule_epoch(form_epoch(k));
+    } else {
+      // One software-pipelined step: {B(k), A(k+depth−1)} as a single
+      // thread-pool batch. Stage A is pure and stage B is the only writer
+      // of cross-epoch state, so the batch is data-race-free and the
+      // results match the sequential reference bit for bit.
+      const std::size_t ahead = k + depth - 1;
+      const bool has_ahead = ahead < config_.epochs;
+      const auto body = [&](std::size_t which) {
+        if (which == 0) {
+          report = schedule_epoch(std::move(*formed[k]));
+        } else {
+          formed[ahead] = form_epoch(ahead);
+        }
+      };
+      const std::size_t tasks = has_ahead ? 2 : 1;
+      if (pool) {
+        pool->parallel_for(tasks, body);
+      } else {
+        for (std::size_t i = 0; i < tasks; ++i) body(i);
+      }
+      formed[k].reset();
+    }
+    ++totals_.epochs_run;
+    if (on_epoch) on_epoch(report);
+  }
+
+  for (const PendingShard& s : carried_) totals_.pending_txs += s.txs;
+  return totals_;
+}
+
+}  // namespace mvcom::pipeline

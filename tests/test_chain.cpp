@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "chain/checkpoint.hpp"
 #include "chain/root_chain.hpp"
 #include "common/rng.hpp"
 #include "sharding/verification.hpp"
@@ -184,6 +187,75 @@ TEST(SubmissionTest, TraceBackedSubmissionRoundtrips) {
             trace.blocks[2].tx_count + trace.blocks[5].tx_count +
                 trace.blocks[11].tx_count);
   EXPECT_FALSE(mvcom::sharding::verify_submission(submission).has_value());
+}
+
+// --- checkpoints ---------------------------------------------------------------
+
+RootChain sample_chain() {
+  RootChain chain("serve-genesis");
+  double t = 100.0;
+  for (int e = 0; e < 5; ++e) {
+    t += 50.0 + e;
+    chain.extend(roots(e % 3 + 1, "cp" + std::to_string(e)),
+                 static_cast<std::uint64_t>(1000 * (e + 1)), t,
+                 "final-committee", "rand-" + std::to_string(e));
+  }
+  return chain;
+}
+
+TEST(CheckpointTest, RoundtripRestoresTheExactChain) {
+  const RootChain chain = sample_chain();
+  std::stringstream buffer;
+  ASSERT_TRUE(mvcom::chain::write_checkpoint(chain, buffer));
+  const auto restored = mvcom::chain::load_checkpoint(buffer);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->validate_full());
+  ASSERT_EQ(restored->size(), chain.size());
+  for (std::uint64_t h = 0; h < chain.size(); ++h) {
+    EXPECT_EQ(restored->at(h).header.hash(), chain.at(h).header.hash())
+        << "height " << h;
+  }
+  EXPECT_EQ(restored->total_txs(), chain.total_txs());
+}
+
+TEST(CheckpointTest, TruncationFailsTheChecksum) {
+  // The torn-write of a daemon killed mid-checkpoint: any prefix must be
+  // rejected before structural parsing even starts.
+  const RootChain chain = sample_chain();
+  std::stringstream buffer;
+  ASSERT_TRUE(mvcom::chain::write_checkpoint(chain, buffer));
+  const std::string full = buffer.str();
+  for (const std::size_t keep :
+       {full.size() - 1, full.size() / 2, std::size_t{10}}) {
+    std::stringstream cut(full.substr(0, keep));
+    EXPECT_FALSE(mvcom::chain::load_checkpoint(cut).has_value())
+        << "prefix of " << keep << " bytes was accepted";
+  }
+}
+
+TEST(CheckpointTest, TamperedPayloadIsRejected) {
+  const RootChain chain = sample_chain();
+  std::stringstream buffer;
+  ASSERT_TRUE(mvcom::chain::write_checkpoint(chain, buffer));
+  std::string text = buffer.str();
+  // Flip one tx_count digit somewhere in the middle of the payload.
+  const std::size_t at = text.find("1000");
+  ASSERT_NE(at, std::string::npos);
+  text[at] = '2';
+  std::stringstream tampered(text);
+  EXPECT_FALSE(mvcom::chain::load_checkpoint(tampered).has_value());
+}
+
+TEST(CheckpointTest, EscapedStringsSurviveTheTokenizer) {
+  RootChain chain("genesis with spaces\tand tabs");
+  chain.extend(roots(2), 42, 7.5, "proposer with % and space", "r 1");
+  std::stringstream buffer;
+  ASSERT_TRUE(mvcom::chain::write_checkpoint(chain, buffer));
+  const auto restored = mvcom::chain::load_checkpoint(buffer);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->at(1).header.proposer, "proposer with % and space");
+  EXPECT_EQ(restored->at(1).header.epoch_randomness, "r 1");
+  EXPECT_EQ(restored->tip().header.hash(), chain.tip().header.hash());
 }
 
 }  // namespace

@@ -7,15 +7,19 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "chain/checkpoint.hpp"
 #include "common/csv.hpp"
 #include "common/rng.hpp"
 #include "mvcom/fault_injection.hpp"
+#include "pipeline/serve.hpp"
 #include "obs/context.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -370,6 +374,78 @@ TEST(ChaosObservabilityTest, EpochEmitsPromisedCategories) {
   const std::string json =
       mvcom::obs::to_chrome_trace_json(recorder.snapshot());
   EXPECT_TRUE(mvcom::obs::validate_json(json, &error)) << error;
+}
+
+// --- early-shutdown exporter flush -------------------------------------------
+
+// A serve session stopped mid-stream (the SIGINT path calls exactly
+// request_stop()) must still leave every artifact on disk, complete and
+// valid: Prometheus text, the CSV snapshot, the Chrome trace, and a
+// loadable checkpoint of whatever prefix of the chain was committed.
+TEST(EarlyShutdownFlushTest, StoppedServeRunExportsValidArtifacts) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "mvcom_obs_early_shutdown_test";
+  fs::create_directories(dir);
+
+  mvcom::pipeline::ServeConfig config;
+  config.pipeline.committees = 5;
+  config.pipeline.epochs = 6;
+  config.pipeline.overlap_depth = 2;
+  config.pipeline.workers = 2;
+  config.pipeline.se.threads = 2;
+  config.pipeline.se.max_iterations = 60;
+  config.pipeline.se.convergence_window = 60;
+  config.stream.num_blocks = 60;
+  config.stream.target_total_txs = 30'000;
+  config.metrics_out = (dir / "metrics.prom").string();
+  config.metrics_csv_out = (dir / "metrics.csv").string();
+  config.trace_out = (dir / "trace.json").string();
+  config.checkpoint_out = (dir / "chain.ckpt").string();
+
+  mvcom::pipeline::ServeSession session(config);
+  std::size_t epochs_seen = 0;
+  const auto summary =
+      session.run([&](const mvcom::pipeline::EpochReport&) {
+        if (++epochs_seen == 2) session.request_stop();
+      });
+
+  EXPECT_TRUE(summary.totals.stopped_early);
+  EXPECT_EQ(summary.totals.epochs_run, 2u);
+  EXPECT_TRUE(summary.chain_valid);
+  EXPECT_TRUE(summary.artifacts_valid);
+
+  const auto slurp = [](const fs::path& p) {
+    std::ifstream in(p);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  std::string error;
+  EXPECT_TRUE(
+      mvcom::obs::validate_prometheus_text(slurp(dir / "metrics.prom"), &error))
+      << error;
+  EXPECT_TRUE(mvcom::obs::validate_json(slurp(dir / "trace.json"), &error))
+      << error;
+  const auto csv =
+      mvcom::common::read_csv(dir / "metrics.csv", /*expect_header=*/true);
+  EXPECT_FALSE(csv.rows.empty());
+  if (mvcom::obs::kEnabled) {
+    bool saw_epoch_counter = false;
+    for (const auto& row : csv.rows) {
+      if (row[0] == "mvcom_pipeline_epochs_total") saw_epoch_counter = true;
+    }
+    EXPECT_TRUE(saw_epoch_counter);
+  }
+  // The checkpoint captures exactly the committed prefix: genesis + 2 epochs.
+  const auto restored =
+      mvcom::chain::load_checkpoint_file((dir / "chain.ckpt").string());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(restored->validate_full());
+  EXPECT_EQ(restored->size(), 3u);
+  EXPECT_EQ(restored->total_txs(), summary.totals.committed_txs);
+
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -15,6 +15,20 @@
 //   mvcom bounds [--committees N] [--beta B] [--spread U] [--epsilon E]
 //       Evaluate Theorem 1's mixing-time bounds (natural-log scale).
 //
+//   mvcom serve [--epochs N] [--committees N] [--depth D] [--workers W]
+//               [--blocks N] [--txs N] [--seed S] [--stream-seed S]
+//               [--iters N] [--capacity-fraction F] [--grind-bits B]
+//               [--checkpoint-out <file>] [--checkpoint-every N]
+//               [--metrics-out <file.prom>] [--metrics-csv-out <file.csv>]
+//               [--trace-out <file.json>]
+//       Long-running streaming mode: ingest a synthetic transaction stream,
+//       software-pipeline epoch formation against SE scheduling + final
+//       consensus (--depth 2 overlaps epoch e+1's formation with epoch e's
+//       scheduling), warm-start each epoch's SE from the carried-over
+//       selection, extend the root chain every epoch, and write periodic
+//       checkpoints. SIGINT stops gracefully at the next epoch boundary and
+//       still flushes every export file, complete and valid.
+//
 //   mvcom chaos [--committees N] [--capacity C] [--seed S] [--ddl T]
 //               [--crashes N] [--crash-recovers N] [--stragglers N]
 //               [--misreports N] [--equivocations N] [--loss-bursts N]
@@ -32,6 +46,9 @@
 //                               dual-clocked: simulated time on pid 1, wall
 //                               clock on pid 2.
 
+#include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -47,6 +64,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "pipeline/serve.hpp"
 #include "sharding/elastico.hpp"
 #include "txn/trace_generator.hpp"
 #include "txn/trace_io.hpp"
@@ -151,7 +169,7 @@ struct ObsSinks {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mvcom <gen-trace|schedule|epoch|bounds|chaos> "
+               "usage: mvcom <gen-trace|schedule|epoch|bounds|serve|chaos> "
                "[options]\n"
                "see the header of tools/mvcom_cli.cpp for details\n");
   return 2;
@@ -368,6 +386,83 @@ int cmd_chaos(const Args& args) {
   return report.infeasible_while_feasible ? 1 : 0;
 }
 
+// The SIGINT handler may only touch lock-free atomics; request_stop() is a
+// single relaxed store, so routing the signal through this pointer is
+// async-signal-safe.
+std::atomic<mvcom::pipeline::ServeSession*> g_serve_session{nullptr};
+
+extern "C" void serve_sigint_handler(int) {
+  if (auto* session = g_serve_session.load(std::memory_order_relaxed)) {
+    session->request_stop();
+  }
+}
+
+int cmd_serve(const Args& args) {
+  mvcom::pipeline::ServeConfig config;
+  config.pipeline.epochs = args.get_u64("epochs", 8);
+  config.pipeline.committees = args.get_u64("committees", 50);
+  config.pipeline.overlap_depth = args.get_u64("depth", 2);
+  config.pipeline.workers = args.get_u64("workers", 2);
+  config.pipeline.seed = args.get_u64("seed", 1);
+  config.pipeline.capacity_fraction =
+      args.get_f64("capacity-fraction", config.pipeline.capacity_fraction);
+  config.pipeline.se.max_iterations = args.get_u64("iters", 2000);
+  config.pipeline.se.convergence_window =
+      std::min<std::size_t>(config.pipeline.se.max_iterations, 500);
+  config.pipeline.pow_grind_bits =
+      static_cast<int>(args.get_u64("grind-bits", 0));
+  config.stream.num_blocks = args.get_u64("blocks", 600);
+  config.stream.target_total_txs = args.get_u64("txs", 600'000);
+  config.stream_seed = args.get_u64("stream-seed", 2016);
+  const auto flag = [&](const char* key) {
+    const auto it = args.flags.find(key);
+    return it == args.flags.end() ? std::string() : it->second;
+  };
+  config.metrics_out = flag("metrics-out");
+  config.metrics_csv_out = flag("metrics-csv-out");
+  config.trace_out = flag("trace-out");
+  config.checkpoint_out = flag("checkpoint-out");
+  config.checkpoint_every = args.get_u64("checkpoint-every", 1);
+
+  mvcom::pipeline::ServeSession session(config);
+  g_serve_session.store(&session, std::memory_order_relaxed);
+  std::signal(SIGINT, serve_sigint_handler);
+
+  std::printf("serving %llu epochs x %llu committees "
+              "(depth %zu, workers %zu, warm start %s)\n",
+              static_cast<unsigned long long>(config.pipeline.epochs),
+              static_cast<unsigned long long>(config.pipeline.committees),
+              config.pipeline.overlap_depth, config.pipeline.workers,
+              config.pipeline.warm_start ? "on" : "off");
+  const auto summary =
+      session.run([](const mvcom::pipeline::EpochReport& r) {
+        std::printf("epoch %3zu: start %9.1fs commit %9.1fs  "
+                    "utility %12.1f  committed %8llu TXs  carried %8llu  "
+                    "digest %016llx\n",
+                    r.epoch, r.start, r.commit, r.utility,
+                    static_cast<unsigned long long>(r.committed_txs),
+                    static_cast<unsigned long long>(r.carried_txs),
+                    static_cast<unsigned long long>(r.event_order_digest));
+        std::fflush(stdout);
+      });
+  std::signal(SIGINT, SIG_DFL);
+  g_serve_session.store(nullptr, std::memory_order_relaxed);
+
+  const auto& t = summary.totals;
+  std::printf("%s after %zu epochs: ingested %llu, committed %llu, "
+              "pending %llu TXs (digest %016llx)\n",
+              t.stopped_early ? "stopped early" : "stream drained",
+              t.epochs_run, static_cast<unsigned long long>(t.ingested_txs),
+              static_cast<unsigned long long>(t.committed_txs),
+              static_cast<unsigned long long>(t.pending_txs),
+              static_cast<unsigned long long>(t.digest));
+  std::printf("chain valid: %s; checkpoints written: %zu; "
+              "artifacts valid: %s\n",
+              summary.chain_valid ? "yes" : "NO", summary.checkpoints_written,
+              summary.artifacts_valid ? "yes" : "NO");
+  return summary.chain_valid && summary.artifacts_valid ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -380,6 +475,7 @@ int main(int argc, char** argv) {
     if (command == "schedule") return cmd_schedule(*args);
     if (command == "epoch") return cmd_epoch(*args);
     if (command == "bounds") return cmd_bounds(*args);
+    if (command == "serve") return cmd_serve(*args);
     if (command == "chaos") return cmd_chaos(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mvcom %s: %s\n", command.c_str(), e.what());

@@ -6,6 +6,31 @@
 
 namespace mvcom::core {
 
+ChurnSchedule sample_churn_schedule(const ChurnRates& rates,
+                                    double multiplier,
+                                    double horizon_seconds,
+                                    common::Rng& rng) {
+  ChurnSchedule schedule;
+  schedule.joins =
+      static_cast<std::size_t>(rng.poisson(rates.joins_per_epoch * multiplier));
+  schedule.leaves = static_cast<std::size_t>(
+      rng.poisson(rates.leaves_per_epoch * multiplier));
+  schedule.arrivals.reserve(schedule.joins + schedule.leaves);
+  for (std::size_t k = 0; k < schedule.joins; ++k) {
+    schedule.arrivals.push_back({true, rng.uniform(0.0, horizon_seconds)});
+  }
+  for (std::size_t k = 0; k < schedule.leaves; ++k) {
+    schedule.arrivals.push_back({false, rng.uniform(0.0, horizon_seconds)});
+  }
+  // Stable by construction order: ties keep joins before leaves.
+  std::stable_sort(schedule.arrivals.begin(), schedule.arrivals.end(),
+                   [](const ChurnSchedule::Arrival& a,
+                      const ChurnSchedule::Arrival& b) {
+                     return a.at_seconds < b.at_seconds;
+                   });
+  return schedule;
+}
+
 DynamicTrace run_with_events(SeScheduler& scheduler, std::size_t iterations,
                              std::vector<DynamicEvent> events) {
   std::stable_sort(events.begin(), events.end(),

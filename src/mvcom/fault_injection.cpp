@@ -20,20 +20,30 @@ const char* to_string(FaultKind kind) noexcept {
     case FaultKind::kMisreport: return "misreport";
     case FaultKind::kEquivocate: return "equivocate";
     case FaultKind::kMessageLossBurst: return "message-loss-burst";
+    case FaultKind::kForgeSubmission: return "forge-submission";
+    case FaultKind::kJoin: return "join";
+    case FaultKind::kLeave: return "leave";
   }
   return "unknown";
 }
 
 FaultPlan FaultPlan::randomized(const FaultPlanConfig& config,
-                                std::size_t num_committees,
-                                common::Rng& rng) {
+                                std::size_t num_committees, common::Rng& rng,
+                                std::size_t num_reserve) {
   FaultPlan plan;
   const auto draw = [&](FaultKind kind, std::size_t count) {
     for (std::size_t k = 0; k < count; ++k) {
       FaultEvent event;
       event.kind = kind;
-      event.committee_id =
-          static_cast<std::uint32_t>(rng.below(num_committees));
+      // Live-rank targeting: with no churn events the live order equals the
+      // input order, so these plans reproduce the pre-churn harness exactly.
+      event.victim = FaultEvent::Victim::kByLiveRank;
+      event.committee_id = kind == FaultKind::kJoin
+                               ? static_cast<std::uint32_t>(
+                                     rng.below(std::max<std::size_t>(
+                                         1, num_reserve)))
+                               : static_cast<std::uint32_t>(
+                                     rng.below(num_committees));
       event.at_seconds = rng.uniform(0.0, config.horizon_seconds);
       event.duration_seconds = rng.uniform(config.min_downtime_seconds,
                                            config.max_downtime_seconds);
@@ -43,6 +53,7 @@ FaultPlan FaultPlan::randomized(const FaultPlanConfig& config,
           break;
         case FaultKind::kMisreport:
         case FaultKind::kEquivocate:
+        case FaultKind::kForgeSubmission:
           event.magnitude = rng.uniform(1.0 + 1e-3, config.max_inflation);
           break;
         case FaultKind::kMessageLossBurst:
@@ -50,6 +61,8 @@ FaultPlan FaultPlan::randomized(const FaultPlanConfig& config,
           break;
         case FaultKind::kCrash:
         case FaultKind::kCrashRecover:
+        case FaultKind::kJoin:
+        case FaultKind::kLeave:
           event.magnitude = 1.0;
           break;
       }
@@ -62,6 +75,9 @@ FaultPlan FaultPlan::randomized(const FaultPlanConfig& config,
   draw(FaultKind::kMisreport, config.misreports);
   draw(FaultKind::kEquivocate, config.equivocations);
   draw(FaultKind::kMessageLossBurst, config.loss_bursts);
+  draw(FaultKind::kForgeSubmission, config.forgeries);
+  draw(FaultKind::kJoin, num_reserve > 0 ? config.joins : 0);
+  draw(FaultKind::kLeave, config.leaves);
   std::sort(plan.events.begin(), plan.events.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
               return a.at_seconds < b.at_seconds;
@@ -128,14 +144,18 @@ ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
                             std::uint64_t seed) {
   common::Rng root(seed);
   sim::Simulator simulator;
+  // Network nodes are fixed at construction, so the reserve pool gets its
+  // nodes up front: [initial members][reserve][observer].
+  const std::size_t total_members = committees.size() + config.reserve.size();
   net::Network network(
       simulator, root.fork(),
       std::make_shared<net::ExponentialLatency>(
           common::SimTime(config.link_latency_mean_seconds)),
-      committees.size() + 1);
-  const net::NodeId observer = static_cast<net::NodeId>(committees.size());
+      total_members + 1);
+  const net::NodeId observer = static_cast<net::NodeId>(total_members);
 
   EpochSupervisor supervisor(config.supervisor, root());
+  if (config.carry_in != nullptr) supervisor.adopt_carry(*config.carry_in);
   ChaosReport report;
 
   // Observability wiring. The sim clock must be detached before `simulator`
@@ -156,26 +176,51 @@ ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
                     {"planned_faults", static_cast<double>(plan.events.size())}});
   }
 
-  // Committee i answers pings on node i.
-  std::vector<PendingSubmission> pending(committees.size());
-  std::vector<net::NodeId> node_of_index(committees.size());
+  // Member i answers pings on node i; the first committees.size() members
+  // form the epoch-start membership, the rest are the kJoin reserve.
+  struct MemberState {
+    sharding::ShardSubmission honest;  // as provided by the caller
+    PendingSubmission pending;
+    net::NodeId node = 0;
+    bool member = false;  // currently part of the membership
+    bool left = false;    // departed for good (kLeave)
+  };
+  std::vector<MemberState> members(total_members);
+  std::vector<std::size_t> live_order;  // membership in join order
+  live_order.reserve(total_members);
+  const auto setup_member = [&](std::size_t i, const ChaosCommittee& c) {
+    members[i].honest = c.submission;
+    members[i].pending.submission = c.submission;
+    members[i].pending.formation_latency = c.formation_latency;
+    members[i].pending.consensus_latency = c.consensus_latency;
+    members[i].pending.deliver_at = c.formation_latency + c.consensus_latency;
+    members[i].node = static_cast<net::NodeId>(i);
+  };
   for (std::size_t i = 0; i < committees.size(); ++i) {
-    pending[i].submission = committees[i].submission;
-    pending[i].formation_latency = committees[i].formation_latency;
-    pending[i].consensus_latency = committees[i].consensus_latency;
-    pending[i].deliver_at =
-        committees[i].formation_latency + committees[i].consensus_latency;
-    node_of_index[i] = static_cast<net::NodeId>(i);
-    supervisor.register_committee_node(committees[i].submission.committee_id,
-                                       node_of_index[i]);
+    setup_member(i, committees[i]);
+    members[i].member = true;
+    live_order.push_back(i);
+    supervisor.register_committee_node(members[i].honest.committee_id,
+                                       members[i].node);
+  }
+  for (std::size_t j = 0; j < config.reserve.size(); ++j) {
+    setup_member(committees.size() + j, config.reserve[j]);
   }
   supervisor.attach_monitor(simulator, network, observer);
 
-  const auto index_of = [&](std::uint32_t committee_id) -> std::size_t {
-    for (std::size_t i = 0; i < committees.size(); ++i) {
-      if (committees[i].submission.committee_id == committee_id) return i;
+  // Satellite fix: victims resolve against the LIVE membership at fire time,
+  // not the epoch-start population — an event whose victim already left (or
+  // never joined) is skipped and counted, never applied to a stale index.
+  const auto resolve_victim = [&](const FaultEvent& event) -> std::size_t {
+    if (event.victim == FaultEvent::Victim::kByLiveRank) {
+      return event.committee_id < live_order.size()
+                 ? live_order[event.committee_id]
+                 : members.size();
     }
-    return committees.size();
+    for (const std::size_t i : live_order) {
+      if (members[i].honest.committee_id == event.committee_id) return i;
+    }
+    return members.size();
   };
 
   const auto count_admission = [&](Admission admission) {
@@ -191,114 +236,154 @@ ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
 
   const auto submit = [&](std::size_t i,
                           const sharding::ShardSubmission& submission) {
-    if (network.is_failed(node_of_index[i])) {
+    if (members[i].left) return;
+    if (network.is_failed(members[i].node)) {
       ++report.dropped_submissions;  // a down node cannot send (§V-A)
       return;
     }
-    count_admission(supervisor.on_submission(submission,
-                                             pending[i].formation_latency,
-                                             pending[i].consensus_latency));
+    count_admission(
+        supervisor.on_submission(submission,
+                                 members[i].pending.formation_latency,
+                                 members[i].pending.consensus_latency));
   };
 
   // Submission delivery: re-check deliver_at so straggler faults that land
   // while the message is still "in preparation" push it back.
   std::function<void(std::size_t)> deliver = [&](std::size_t i) {
-    if (pending[i].delivered) return;
-    if (simulator.now().seconds() + 1e-9 < pending[i].deliver_at) {
-      simulator.schedule_at(common::SimTime(pending[i].deliver_at),
+    if (members[i].pending.delivered || members[i].left) return;
+    if (simulator.now().seconds() + 1e-9 < members[i].pending.deliver_at) {
+      simulator.schedule_at(common::SimTime(members[i].pending.deliver_at),
                             [&deliver, i] { deliver(i); });
       return;
     }
-    pending[i].delivered = true;
-    submit(i, pending[i].submission);
+    members[i].pending.delivered = true;
+    submit(i, members[i].pending.submission);
   };
   for (std::size_t i = 0; i < committees.size(); ++i) {
-    simulator.schedule_at(common::SimTime(pending[i].deliver_at),
+    simulator.schedule_at(common::SimTime(members[i].pending.deliver_at),
                           [&deliver, i] { deliver(i); });
   }
 
-  // Fault injection.
-  for (const FaultEvent& event : plan.events) {
-    const std::size_t i = event.kind == FaultKind::kMessageLossBurst
-                              ? 0
-                              : index_of(event.committee_id);
-    if (event.kind != FaultKind::kMessageLossBurst &&
-        i >= committees.size()) {
-      continue;  // victim not part of this run
+  // Fault injection. Each event fires as one sim event at its at_seconds;
+  // the victim is resolved then (against the live membership), the trace
+  // instant emitted, and the kind's action applied.
+  const auto fire = [&](const FaultEvent& event) {
+    // kJoin addresses the reserve pool, everything victimful the live set.
+    std::size_t i = members.size();
+    if (event.kind == FaultKind::kJoin) {
+      const std::size_t slot = committees.size() + event.committee_id;
+      if (slot < members.size() && !members[slot].member &&
+          !members[slot].left) {
+        i = slot;
+      }
+    } else if (event.kind != FaultKind::kMessageLossBurst) {
+      i = resolve_victim(event);
+    }
+    if (event.kind != FaultKind::kMessageLossBurst && i >= members.size()) {
+      ++report.skipped_events;
+      if (trace != nullptr) {
+        trace->instant(
+            "fault", "fault/skipped",
+            {{"kind", static_cast<double>(event.kind)},
+             {"committee_id", static_cast<double>(event.committee_id)}});
+      }
+      return;
     }
     if (trace != nullptr) {
-      // One sim-clocked instant per injected fault, at injection time.
-      simulator.schedule_at(common::SimTime(event.at_seconds), [&, event] {
-        trace->instant("fault", to_string(event.kind),
-                       {{"committee_id", static_cast<double>(event.committee_id)},
-                        {"magnitude", event.magnitude},
-                        {"duration_s", event.duration_seconds}});
-      });
+      trace->instant("fault", to_string(event.kind),
+                     {{"committee_id", static_cast<double>(event.committee_id)},
+                      {"magnitude", event.magnitude},
+                      {"duration_s", event.duration_seconds}});
     }
     switch (event.kind) {
       case FaultKind::kCrash:
-        simulator.schedule_at(common::SimTime(event.at_seconds), [&, i] {
-          network.set_failed(node_of_index[i], true);
-        });
+        network.set_failed(members[i].node, true);
         break;
       case FaultKind::kCrashRecover:
-        simulator.schedule_at(common::SimTime(event.at_seconds), [&, i] {
-          network.set_failed(node_of_index[i], true);
-        });
-        simulator.schedule_at(
-            common::SimTime(event.at_seconds + event.duration_seconds),
-            [&, i] { network.set_failed(node_of_index[i], false); });
+        network.set_failed(members[i].node, true);
+        simulator.schedule_after(common::SimTime(event.duration_seconds),
+                                 [&network, &members, i] {
+                                   if (!members[i].left) {
+                                     network.set_failed(members[i].node,
+                                                        false);
+                                   }
+                                 });
         break;
       case FaultKind::kStragglerDelay:
-        simulator.schedule_at(
-            common::SimTime(event.at_seconds), [&, i, event] {
-              network.set_node_factor(node_of_index[i], event.magnitude);
-              if (!pending[i].delivered) {
-                pending[i].deliver_at = std::max(pending[i].deliver_at,
-                                                 simulator.now().seconds()) +
-                                        event.duration_seconds;
-              }
-            });
+        network.set_node_factor(members[i].node, event.magnitude);
+        if (!members[i].pending.delivered) {
+          members[i].pending.deliver_at =
+              std::max(members[i].pending.deliver_at,
+                       simulator.now().seconds()) +
+              event.duration_seconds;
+        }
         break;
       case FaultKind::kMisreport:
-        simulator.schedule_at(
-            common::SimTime(event.at_seconds), [&, i, event] {
-              if (!pending[i].delivered) {
-                // Inflate the claim before it is ever sent; the Merkle
-                // commitment still binds the honest counts, so admission
-                // verification must catch the lie.
-                auto& s = pending[i].submission;
-                s.claimed_tx_count = static_cast<std::uint64_t>(
-                    static_cast<double>(s.claimed_tx_count) *
-                        event.magnitude +
-                    1.0);
-              } else {
-                // Already admitted honestly: send the inflated claim now.
-                sharding::ShardSubmission lie = committees[i].submission;
-                lie.claimed_tx_count = static_cast<std::uint64_t>(
-                    static_cast<double>(lie.claimed_tx_count) *
-                        event.magnitude +
-                    1.0);
-                submit(i, lie);
-              }
-            });
+        if (!members[i].pending.delivered) {
+          // Inflate the claim before it is ever sent; the Merkle commitment
+          // still binds the honest counts, so admission verification must
+          // catch the lie.
+          auto& s = members[i].pending.submission;
+          s.claimed_tx_count = static_cast<std::uint64_t>(
+              static_cast<double>(s.claimed_tx_count) * event.magnitude +
+              1.0);
+        } else {
+          // Already admitted honestly: send the inflated claim now.
+          sharding::ShardSubmission lie = members[i].honest;
+          lie.claimed_tx_count = static_cast<std::uint64_t>(
+              static_cast<double>(lie.claimed_tx_count) * event.magnitude +
+              1.0);
+          submit(i, lie);
+        }
         break;
       case FaultKind::kEquivocate:
-        simulator.schedule_at(
-            common::SimTime(event.at_seconds), [&, i, event] {
-              submit(i, forge_equivocation(committees[i].submission,
-                                           event.magnitude));
-            });
+        submit(i, forge_equivocation(members[i].honest, event.magnitude));
+        break;
+      case FaultKind::kForgeSubmission:
+        if (!members[i].pending.delivered) {
+          // The forgery replaces the honest report outright: the single
+          // submission that ever arrives verifies (the commitment is over
+          // the fabricated entries), so admission cannot catch it — only a
+          // later differing verified submission would.
+          members[i].pending.submission =
+              forge_equivocation(members[i].honest, event.magnitude);
+        } else {
+          // Too late to suppress the honest report: the forgery lands as a
+          // second verified submission and is struck as an equivocation.
+          submit(i, forge_equivocation(members[i].honest, event.magnitude));
+        }
+        break;
+      case FaultKind::kJoin:
+        members[i].member = true;
+        live_order.push_back(i);
+        supervisor.register_committee_node(members[i].honest.committee_id,
+                                           members[i].node);
+        // Joining IS reporting (Fig. 14): the join event delivers the
+        // committee's report now. Admission may still refuse it (N_max).
+        members[i].pending.delivered = true;
+        submit(i, members[i].pending.submission);
+        ++report.joins;
+        break;
+      case FaultKind::kLeave:
+        members[i].member = false;
+        members[i].left = true;
+        live_order.erase(
+            std::find(live_order.begin(), live_order.end(), i));
+        network.set_failed(members[i].node, true);
+        members[i].pending.delivered = true;  // never sends
+        ++report.leaves;
         break;
       case FaultKind::kMessageLossBurst:
-        simulator.schedule_at(common::SimTime(event.at_seconds), [&, event] {
-          network.set_loss_probability(event.magnitude);
-        });
-        simulator.schedule_at(
-            common::SimTime(event.at_seconds + event.duration_seconds),
-            [&] { network.set_loss_probability(0.0); });
+        network.set_loss_probability(event.magnitude);
+        simulator.schedule_after(
+            common::SimTime(event.duration_seconds),
+            [&network] { network.set_loss_probability(0.0); });
         break;
     }
+  };
+  for (const FaultEvent& event : plan.events) {
+    simulator.schedule_at(common::SimTime(event.at_seconds),
+                          [&fire, event] { fire(event); });
   }
 
   // Exploration pump + timeline sampling + the acceptance-criterion check.
@@ -353,6 +438,11 @@ ChaosReport run_chaos_epoch(const std::vector<ChaosCommittee>& committees,
   report.banned_ids = supervisor.banned_ids();
   report.failures_detected = supervisor.failures_detected();
   report.recoveries_detected = supervisor.recoveries_detected();
+  report.final_reports = supervisor.scheduler().reports();
+  report.resizes = supervisor.resizes();
+  report.effective_n_min = supervisor.scheduler().n_min();
+  report.risk_score = supervisor.risk_score();
+  report.carry_out = supervisor.export_carry();
   return report;
 }
 

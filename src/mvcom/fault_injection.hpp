@@ -34,17 +34,35 @@ enum class FaultKind {
   kMisreport,        // claimed s_i inflated ×magnitude (commitment unchanged)
   kEquivocate,       // second, verification-passing submission, different s_i
   kMessageLossBurst, // loss probability = magnitude for `duration`
+  kForgeSubmission,  // verification-PASSING inflated submission: before the
+                     // honest report is sent it is replaced outright (the lie
+                     // is the only submission and admission cannot catch it);
+                     // after, the forgery arrives as a second verified
+                     // submission and is caught as an equivocation
+  kJoin,             // a reserve committee joins; its report arrives at `at`
+  kLeave,            // the victim leaves the membership for good at `at`
 };
 [[nodiscard]] const char* to_string(FaultKind kind) noexcept;
 
-/// One scheduled fault. `committee_id` indexes the victim (ignored for
-/// kMessageLossBurst, which is network-wide).
+/// One scheduled fault. `committee_id` names the victim (ignored for
+/// kMessageLossBurst, which is network-wide; for kJoin it indexes the
+/// ChaosConfig::reserve pool instead). Victims are resolved against the
+/// LIVE membership at `at_seconds` — not the epoch-start population — so a
+/// plan can target late joiners and never mis-fires on departed committees
+/// (events whose victim is gone are skipped and counted).
 struct FaultEvent {
+  /// How `committee_id` names the victim.
+  enum class Victim {
+    kById,        // a concrete committee id, looked up among the live members
+    kByLiveRank,  // the rank-th live member in join order at `at_seconds`
+  };
   FaultKind kind = FaultKind::kCrash;
-  std::uint32_t committee_id = 0;
+  std::uint32_t committee_id = 0;  // id, live rank, or reserve slot (kJoin)
   double at_seconds = 0.0;
   double duration_seconds = 0.0;  // kCrashRecover / kStragglerDelay / bursts
   double magnitude = 1.0;         // slowdown ×, inflation ×, burst loss prob
+  Victim victim = Victim::kById;  // last: scripted {k,id,t,d,m} plans keep
+                                  // their historical by-id aggregate shape
 };
 
 struct FaultPlanConfig {
@@ -54,6 +72,9 @@ struct FaultPlanConfig {
   std::size_t misreports = 1;
   std::size_t equivocations = 0;
   std::size_t loss_bursts = 0;
+  std::size_t forgeries = 0;  // kForgeSubmission
+  std::size_t joins = 0;      // drawn only when the run provides a reserve
+  std::size_t leaves = 0;
   double horizon_seconds = 1500.0;  // faults drawn uniformly in [0, horizon)
   double min_downtime_seconds = 60.0;
   double max_downtime_seconds = 300.0;
@@ -65,12 +86,16 @@ struct FaultPlanConfig {
 struct FaultPlan {
   std::vector<FaultEvent> events;
 
-  /// Draws a randomized schedule: victims are sampled uniformly over
-  /// [0, num_committees), times over [0, horizon). Deterministic per rng
-  /// state — the property tests sweep seeds.
+  /// Draws a randomized schedule: victims are sampled uniformly as live
+  /// ranks over [0, num_committees), times over [0, horizon). With no churn
+  /// the live order equals the input order, so rank targeting reproduces the
+  /// historical by-index behavior bit-for-bit. Join events draw reserve
+  /// slots over [0, num_reserve) (none are drawn when num_reserve == 0).
+  /// Deterministic per rng state — the property tests sweep seeds.
   [[nodiscard]] static FaultPlan randomized(const FaultPlanConfig& config,
                                             std::size_t num_committees,
-                                            common::Rng& rng);
+                                            common::Rng& rng,
+                                            std::size_t num_reserve = 0);
 };
 
 /// One committee as the harness drives it: its honest submission plus the
@@ -94,6 +119,14 @@ struct ChaosConfig {
   double explore_tick_seconds = 20.0;  // SE exploration pump + sampling
   std::size_t iterations_per_tick = 40;
   double link_latency_mean_seconds = 2.0;
+  /// Committees available to kJoin events. FaultEvent::committee_id indexes
+  /// this pool by position; each reserve committee answers pings on the node
+  /// after the initial members' (allocated up front — Network's node count
+  /// is fixed at construction).
+  std::vector<ChaosCommittee> reserve{};
+  /// Cross-epoch supervision state adopted before any admission (strikes,
+  /// bans, decayed risk). nullptr = fresh supervisor.
+  const SupervisorCarry* carry_in = nullptr;
   /// Observability sinks. When set, the harness wires every component
   /// (simulator, network, supervisor, SE scheduler) to them, attaches the
   /// simulated clock to the trace recorder for the duration of the run
@@ -125,6 +158,21 @@ struct ChaosReport {
   // Detector statistics.
   std::uint64_t failures_detected = 0;
   std::uint64_t recoveries_detected = 0;
+  // Churn statistics.
+  std::uint64_t joins = 0;   // kJoin events that delivered a report
+  std::uint64_t leaves = 0;  // kLeave events applied
+  /// Events whose victim was not live at fire time (already left, not yet
+  /// joined, unknown id/rank) — skipped instead of hitting a stale index.
+  std::uint64_t skipped_events = 0;
+  /// The live reports backing the final decision (claims as admitted — an
+  /// undetected forgery shows up here with its inflated s_i).
+  std::vector<txn::ShardReport> final_reports;
+  // Risk-adaptive sizing outcome (empty/static when the policy is off).
+  std::vector<ResizeRecord> resizes;
+  std::size_t effective_n_min = 0;  // scheduler floor at the DDL
+  double risk_score = 0.0;
+  /// Supervision state the next epoch should adopt (ChaosConfig::carry_in).
+  SupervisorCarry carry_out{};
   /// True if any sampled decide() reported infeasible while
   /// feasible_selection_exists held on the live set — the acceptance
   /// criterion the ladder must never violate.

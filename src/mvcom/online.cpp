@@ -167,6 +167,16 @@ bool OnlineCommitteeScheduler::on_recovery(const txn::ShardReport& report) {
   return accepted;
 }
 
+bool OnlineCommitteeScheduler::set_n_min(std::size_t n_min) {
+  if (n_min == n_min_) return true;
+  // Same invariant the constructor enforces: bootstrap needs strictly more
+  // than N_min arrivals before listening stops at N_max.
+  if (n_min >= n_max_count_) return false;
+  n_min_ = n_min;
+  if (scheduler_) scheduler_->set_n_min(n_min);
+  return true;
+}
+
 void OnlineCommitteeScheduler::explore(std::size_t iterations) {
   if (!scheduler_) return;
   // Bulk advance: in parallel mode this fans each barrier-to-barrier block

@@ -82,6 +82,18 @@ class OnlineCommitteeScheduler {
     return reports_.size();
   }
   [[nodiscard]] std::size_t n_min() const noexcept { return n_min_; }
+  /// The N_max listening cutoff (arrivals stop once this many reports are
+  /// in). Exposed so supervision layers can keep adaptive N_min below it.
+  [[nodiscard]] std::size_t n_max_count() const noexcept {
+    return n_max_count_;
+  }
+
+  /// Risk-adaptive resizing (supervision policy, not in the paper): replaces
+  /// the Eq.-(3) floor N_min for all subsequent decisions. Returns false —
+  /// leaving everything unchanged — when the new value would make bootstrap
+  /// unreachable (n_min >= the N_max cutoff). A bootstrapped SE scheduler is
+  /// rebuilt onto the resized instance, carrying its solution family over.
+  bool set_n_min(std::size_t n_min);
 
   /// The live (non-failed) reports currently backing decisions.
   [[nodiscard]] const std::vector<txn::ShardReport>& reports() const noexcept {

@@ -846,6 +846,20 @@ void SeScheduler::add_committee(const Committee& committee) {
   }
 }
 
+void SeScheduler::set_n_min(std::size_t n_min) {
+  if (n_min == instance_.n_min()) return;
+  std::vector<Committee> committees = instance_.committees();
+  instance_ = EpochInstance(std::move(committees), instance_.alpha(),
+                            instance_.capacity(), n_min);
+  rebind_all(std::nullopt);
+  if (auto* t = obs_.trace()) {
+    t->instant("se", "se/resize",
+               {{"n_min", static_cast<double>(n_min)},
+                {"committees", static_cast<double>(instance_.size())},
+                {"iteration", static_cast<double>(iteration_)}});
+  }
+}
+
 void SeScheduler::remove_committee(std::uint32_t committee_id) {
   const auto& committees = instance_.committees();
   const auto it = std::find_if(

@@ -369,6 +369,10 @@ class SeScheduler {
   void add_committee(const Committee& committee);
   /// Removes by committee id (e.g. on failure). No-op for unknown ids.
   void remove_committee(std::uint32_t committee_id);
+  /// Risk-adaptive resizing: replaces the Eq.-(3) floor N_min and rebinds
+  /// every explorer onto the resized instance (same committees/α/Ĉ). No-op
+  /// when the value is unchanged.
+  void set_n_min(std::size_t n_min);
 
   /// Attaches observability. Registers the SE metric families and starts
   /// emitting barrier-granular trace events; a default context detaches.

@@ -118,7 +118,8 @@ bool feasible_selection_exists(std::span<const txn::ShardReport> reports,
 EpochSupervisor::EpochSupervisor(SupervisorConfig config, std::uint64_t seed)
     : config_(config),
       scheduler_(config.scheduler, seed),
-      rng_(seed ^ 0x5eb0a9d5u) {
+      rng_(seed ^ 0x5eb0a9d5u),
+      base_n_min_(scheduler_.n_min()) {
   if (config_.max_strikes <= 0) {
     throw std::invalid_argument("EpochSupervisor: max_strikes > 0");
   }
@@ -128,6 +129,13 @@ EpochSupervisor::EpochSupervisor(SupervisorConfig config, std::uint64_t seed)
       config_.ping_backoff_factor < 1.0) {
     throw std::invalid_argument("EpochSupervisor: bad monitor parameters");
   }
+  if (config_.risk.enabled &&
+      (config_.risk.strike_weight < 0.0 || config_.risk.failure_weight < 0.0 ||
+       config_.risk.escalation_step <= 0.0 ||
+       config_.risk.tighten_step <= 0.0 || config_.risk.carry_decay < 0.0 ||
+       config_.risk.carry_decay > 1.0)) {
+    throw std::invalid_argument("EpochSupervisor: bad risk-policy parameters");
+  }
 }
 
 void EpochSupervisor::set_obs(obs::ObsContext obs) {
@@ -135,6 +143,7 @@ void EpochSupervisor::set_obs(obs::ObsContext obs) {
   obs_admission_.fill(nullptr);
   obs_tier_.fill(nullptr);
   obs_strikes_ = nullptr;
+  obs_resizes_ = nullptr;
   obs_failures_ = nullptr;
   obs_recoveries_ = nullptr;
   obs_probe_ok_ = nullptr;
@@ -163,6 +172,8 @@ void EpochSupervisor::set_obs(obs::ObsContext obs) {
     }
     obs_strikes_ = &m->counter("mvcom_supervisor_strikes_total",
                                "Verification failures and equivocations");
+    obs_resizes_ = &m->counter("mvcom_supervisor_resizes_total",
+                               "Risk-adaptive N_min resizes applied");
     obs_failures_ = &m->counter("mvcom_supervisor_failures_total",
                                 "Committee failures declared");
     obs_recoveries_ = &m->counter("mvcom_supervisor_recoveries_total",
@@ -245,14 +256,20 @@ Admission EpochSupervisor::admit_submission(
   h.missed_pings = 0;
   h.verified_txs = verified_txs;
   last_verified_[submission.committee_id] = report;
+  // A new live report can unlock a previously clamped N_min boost.
+  update_risk_policy();
   return was_evicted ? Admission::kReadmitted : Admission::kAdmitted;
 }
 
 void EpochSupervisor::strike(std::uint32_t committee_id,
                              CommitteeHealth& health) {
   ++health.strikes;
+  ++strikes_total_;
   health.quarantined = true;
-  if (health.strikes >= config_.max_strikes) health.banned = true;
+  if (health.strikes >= effective_max_strikes() &&
+      (!config_.risk.enabled || ban_preserves_liveness())) {
+    health.banned = true;
+  }
   if (obs_strikes_ != nullptr) obs_strikes_->inc();
   if (auto* t = obs_.trace()) {
     t->instant("supervisor", "supervisor/strike",
@@ -266,6 +283,7 @@ void EpochSupervisor::strike(std::uint32_t committee_id,
     evicted_from_scheduler_[committee_id] = true;
     health.admitted = false;
   }
+  update_risk_policy();
 }
 
 void EpochSupervisor::on_failure(std::uint32_t committee_id) {
@@ -303,6 +321,7 @@ void EpochSupervisor::on_failure(std::uint32_t committee_id) {
                 {"perturbation_bound", record.perturbation_bound}});
   }
   failures_.push_back(record);
+  update_risk_policy();
 }
 
 bool EpochSupervisor::on_recovery(std::uint32_t committee_id) {
@@ -325,8 +344,122 @@ bool EpochSupervisor::on_recovery(std::uint32_t committee_id) {
   if (accepted) {
     evicted_from_scheduler_[committee_id] = false;
     h.admitted = true;
+    update_risk_policy();
   }
   return accepted;
+}
+
+double EpochSupervisor::risk_score() const noexcept {
+  return risk_carry_ +
+         config_.risk.strike_weight * static_cast<double>(strikes_total_) +
+         config_.risk.failure_weight * static_cast<double>(failures_detected_);
+}
+
+bool EpochSupervisor::ban_preserves_liveness() const noexcept {
+  // Risk-adaptive supervisors only (the static path keeps the paper's
+  // unconditional ban on budget exhaustion).
+  // Bans are free while the unbanned membership still reaches N_max: the
+  // scheduler stops listening at N_max reports, so excluding a member
+  // beyond that line costs no throughput this epoch or the next. Below the
+  // line every ban shrinks the usable membership toward infeasibility —
+  // an attacker spreading offenses across the membership would be trading
+  // cheap forgeries for a permanent liveness collapse. So past it, repeat
+  // offenders stay quarantined (still evicted, still struck) instead.
+  std::size_t unbanned = 0;
+  for (const auto& [id, h] : health_) {
+    (void)id;
+    if (!h.banned) ++unbanned;
+  }
+  return unbanned > scheduler_.n_max_count();
+}
+
+int EpochSupervisor::effective_max_strikes() const noexcept {
+  if (!config_.risk.enabled) return config_.max_strikes;
+  const int tightened =
+      config_.max_strikes -
+      static_cast<int>(risk_score() / config_.risk.tighten_step);
+  // Floor 2, never 1: banning first offenses under high carried risk lets a
+  // broad attack convert the whole membership into bans within an epoch or
+  // two (a liveness collapse the attacker would happily trade forgeries
+  // for). Repeat offenders still escalate monotonically to a ban.
+  return std::max(std::min(2, config_.max_strikes), tightened);
+}
+
+void EpochSupervisor::update_risk_policy() {
+  if (!config_.risk.enabled) return;
+  const double risk = risk_score();
+  std::size_t boost = std::min<std::size_t>(
+      config_.risk.boost_cap,
+      static_cast<std::size_t>(risk / config_.risk.escalation_step));
+  // Clamp 1 — bootstrap reachability: the online scheduler only starts
+  // exploring once strictly more than N_min reports arrived, and arrivals
+  // stop at N_max; a boost that pushed N_min to N_max would wedge it.
+  const std::size_t n_max = scheduler_.n_max_count();
+  while (boost > 0 && base_n_min_ + boost >= n_max) --boost;
+  // Clamp 2 — feasibility: never raise N_min past what the live reports can
+  // satisfy (Eq. (3)+(4)). The defense must not manufacture an infeasible
+  // epoch that the static supervisor would have solved.
+  while (boost > 0 &&
+         !feasible_selection_exists(scheduler_.reports(),
+                                    config_.scheduler.capacity,
+                                    base_n_min_ + boost)) {
+    --boost;
+  }
+  const std::size_t target = base_n_min_ + boost;
+  const std::size_t before = scheduler_.n_min();
+  if (target == before) return;
+
+  ResizeRecord record;
+  record.sim_time_seconds = now_seconds();
+  record.n_min_before = before;
+  record.n_min_after = target;
+  record.risk_score = risk;
+  record.utility_before = best_ladder_utility();
+  if (!scheduler_.set_n_min(target)) return;  // refused; nothing changed
+  record.utility_after = best_ladder_utility();
+  // Theorem 2 extended to adaptive resizing: changing N_min swaps the
+  // feasible space for a subset/superset; the stationary-optimum shift is
+  // bounded by the best utility certified on the larger space.
+  record.perturbation_bound = analysis::failure_perturbation_bound(
+      std::max(record.utility_before, record.utility_after));
+  record.within_bound =
+      std::abs(record.utility_before - record.utility_after) <=
+      record.perturbation_bound + kBoundSlack;
+  resizes_.push_back(record);
+  if (obs_resizes_ != nullptr) obs_resizes_->inc();
+  if (auto* t = obs_.trace()) {
+    t->instant("supervisor", "supervisor/resize",
+               {{"n_min_before", static_cast<double>(record.n_min_before)},
+                {"n_min_after", static_cast<double>(record.n_min_after)},
+                {"risk", record.risk_score},
+                {"utility_after", record.utility_after}});
+  }
+}
+
+void EpochSupervisor::adopt_carry(const SupervisorCarry& carry) {
+  risk_carry_ += carry.risk;
+  for (const SupervisorCarry::Entry& entry : carry.entries) {
+    CommitteeHealth& h = health_[entry.committee_id];
+    h.strikes = std::max(h.strikes, entry.strikes);
+    // Bans are monotone across epochs: once banned, never re-admitted.
+    // Carried strikes alone never ban at adoption — the membership is not
+    // known yet, so the liveness guard cannot be evaluated; a repeat
+    // offender with an exhausted budget is banned by strike() the moment it
+    // offends again (strikes already ≥ the budget at that point).
+    h.banned = h.banned || entry.banned;
+  }
+  update_risk_policy();
+}
+
+SupervisorCarry EpochSupervisor::export_carry() const {
+  SupervisorCarry carry;
+  for (const auto& [id, h] : health_) {  // std::map: ascending id
+    if (h.strikes > 0 || h.banned) {
+      carry.entries.push_back({id, h.strikes, h.banned});
+    }
+  }
+  carry.risk = config_.risk.carry_decay * risk_score();
+  return carry;
 }
 
 void EpochSupervisor::explore(std::size_t iterations) {
@@ -443,6 +576,11 @@ SupervisedDecision EpochSupervisor::decide() const {
 SupervisedDecision EpochSupervisor::run_ladder() const {
   SupervisedDecision out;
   for (const FailureRecord& record : failures_) {
+    out.perturbation_bound =
+        std::max(out.perturbation_bound, record.perturbation_bound);
+    out.theorem2_respected = out.theorem2_respected && record.within_bound;
+  }
+  for (const ResizeRecord& record : resizes_) {
     out.perturbation_bound =
         std::max(out.perturbation_bound, record.perturbation_bound);
     out.theorem2_respected = out.theorem2_respected && record.within_bound;

@@ -90,6 +90,68 @@ enum class InfeasibleReason {
 };
 [[nodiscard]] const char* to_string(InfeasibleReason reason) noexcept;
 
+/// Risk-adaptive committee-sizing policy (Blockguard / Zhang et al.: the
+/// committee structure must respond to the observed threat). The supervisor
+/// keeps a scalar risk score fed by detectable adversary signals — strikes
+/// (failed verifications + equivocations) and detector-declared failures —
+/// and translates it into two defensive knobs:
+///
+///  * N_min escalation — raise the scheduler's N_min by one per
+///    `escalation_step` of risk (up to `boost_cap`). A wider mandatory
+///    selection under a binding capacity squeezes out inflated claims: the
+///    knapsack must fit more committees, so a few huge (forged) shards can
+///    no longer crowd out the honest ones.
+///  * Strike-budget tightening — lower the effective max_strikes by one per
+///    `tighten_step` of risk (floor 2 — a first offense never bans, else a
+///    broad attack converts the membership into bans and collapses
+///    liveness), so quarantine→ban escalation speeds up under attack.
+///
+/// Every resize is clamped so that feasible_selection_exists still holds on
+/// the live reports at the raised N_min (and bootstrap stays reachable,
+/// N_min < N_max): the defense must never cause an infeasible epoch that a
+/// static supervisor would have solved. Each applied resize records
+/// Theorem-2 perturbation accounting (ResizeRecord), extending the failure
+/// bound to adaptive resizing: shrinking the feasible space perturbs the
+/// stationary optimum by at most the best utility on the larger space.
+struct RiskPolicyConfig {
+  bool enabled = false;
+  double strike_weight = 1.0;   // risk per strike
+  double failure_weight = 0.5;  // risk per detector-declared failure
+  double escalation_step = 2.0; // risk per +1 N_min
+  std::size_t boost_cap = 8;    // max N_min raise over the static base
+  double tighten_step = 4.0;    // risk per −1 effective max_strikes
+  /// Cross-epoch decay applied to the risk score when exporting carry.
+  double carry_decay = 0.5;
+};
+
+/// Theorem-2 accounting of one risk-adaptive N_min resize, mirroring
+/// FailureRecord: the feasible-space change perturbs the certified optimum
+/// by at most the best utility on the larger of the two spaces.
+struct ResizeRecord {
+  double sim_time_seconds = 0.0;
+  std::size_t n_min_before = 0;
+  std::size_t n_min_after = 0;
+  double risk_score = 0.0;
+  double utility_before = 0.0;
+  double utility_after = 0.0;
+  double perturbation_bound = 0.0;
+  bool within_bound = true;
+};
+
+/// Cross-epoch supervision state: strike counts and bans survive epoch
+/// boundaries (repeated equivocation escalates monotonically — a banned
+/// committee stays banned), and the decayed risk score seeds the next
+/// epoch's risk-adaptive policy.
+struct SupervisorCarry {
+  struct Entry {
+    std::uint32_t committee_id = 0;
+    int strikes = 0;
+    bool banned = false;
+  };
+  std::vector<Entry> entries;  // ascending committee_id
+  double risk = 0.0;
+};
+
 /// Runtime record of one committee failure and its Theorem-2 accounting.
 struct FailureRecord {
   std::uint32_t committee_id = 0;
@@ -125,6 +187,9 @@ struct SupervisorConfig {
   int missed_pings_before_failure = 3;   // K
   double ping_backoff_factor = 2.0;      // while the committee is down
   double ping_interval_cap_seconds = 480.0;
+  /// Risk-adaptive committee sizing (disabled by default — the static
+  /// supervisor behaves exactly as before).
+  RiskPolicyConfig risk{};
 };
 
 /// The epoch's final, tier-attributed answer.
@@ -188,6 +253,16 @@ class EpochSupervisor {
   /// (and through it, the SE scheduler).
   void set_obs(obs::ObsContext obs);
 
+  /// Adopts cross-epoch supervision state (call before any submission):
+  /// carried strikes and bans pre-populate the health table — a committee
+  /// banned last epoch is refused outright this epoch — and the carried
+  /// risk score seeds the risk-adaptive policy.
+  void adopt_carry(const SupervisorCarry& carry);
+  /// Exports the state the next epoch's supervisor should adopt: every
+  /// committee with strikes or a ban, plus the risk score decayed by
+  /// RiskPolicyConfig::carry_decay.
+  [[nodiscard]] SupervisorCarry export_carry() const;
+
   // -- Introspection -------------------------------------------------------
   [[nodiscard]] const OnlineCommitteeScheduler& scheduler() const noexcept {
     return scheduler_;
@@ -205,6 +280,14 @@ class EpochSupervisor {
   [[nodiscard]] std::uint64_t recoveries_detected() const noexcept {
     return recoveries_detected_;
   }
+  /// Current risk score: carried risk + weighted strikes and failures.
+  [[nodiscard]] double risk_score() const noexcept;
+  /// Theorem-2 accounting of every applied risk-adaptive resize.
+  [[nodiscard]] const std::vector<ResizeRecord>& resizes() const noexcept {
+    return resizes_;
+  }
+  /// The (possibly risk-tightened) strike budget currently in force.
+  [[nodiscard]] int effective_max_strikes() const noexcept;
 
  private:
   /// on_submission's admission logic; the public wrapper adds the
@@ -215,6 +298,10 @@ class EpochSupervisor {
   /// One verification failure or equivocation: increments the strike count,
   /// quarantines, evicts a live report, bans past the strike budget.
   void strike(std::uint32_t committee_id, CommitteeHealth& health);
+  /// True iff banning one more committee leaves the unbanned membership at
+  /// N_max or above — the line below which bans start costing usable
+  /// members (and, continued, manufacture the next epoch's infeasibility).
+  [[nodiscard]] bool ban_preserves_liveness() const noexcept;
   /// decide()'s pure ladder walk; the public wrapper records the outcome.
   [[nodiscard]] SupervisedDecision run_ladder() const;
   /// Best utility the ladder can certify right now (0 when infeasible).
@@ -222,10 +309,19 @@ class EpochSupervisor {
   void schedule_probe(std::uint32_t committee_id, double delay_seconds);
   void probe(std::uint32_t committee_id);
   [[nodiscard]] double now_seconds() const;
+  /// Re-evaluates the risk-adaptive N_min after any state change that moved
+  /// the risk score or the live report set. The boost is clamped so a
+  /// feasible selection still exists at the raised N_min and bootstrap stays
+  /// reachable; applied resizes are recorded with Theorem-2 accounting.
+  void update_risk_policy();
 
   SupervisorConfig config_;
   OnlineCommitteeScheduler scheduler_;
   common::Rng rng_;  // models probe loss under Network::loss_probability
+  std::size_t base_n_min_ = 0;     // the static N_min the boost raises from
+  std::uint64_t strikes_total_ = 0;
+  double risk_carry_ = 0.0;        // adopted (decayed) prior-epoch risk
+  std::vector<ResizeRecord> resizes_;
   std::map<std::uint32_t, CommitteeHealth> health_;
   std::map<std::uint32_t, txn::ShardReport> last_verified_;
   /// Ids whose report the wrapped scheduler saw fail (so re-admission goes
@@ -245,6 +341,7 @@ class EpochSupervisor {
   std::array<obs::Counter*, 6> obs_admission_{};  // per Admission outcome
   std::array<obs::Counter*, 5> obs_tier_{};       // per DecisionTier rung
   obs::Counter* obs_strikes_ = nullptr;
+  obs::Counter* obs_resizes_ = nullptr;
   obs::Counter* obs_failures_ = nullptr;
   obs::Counter* obs_recoveries_ = nullptr;
   obs::Counter* obs_probe_ok_ = nullptr;

@@ -18,6 +18,51 @@ void fill_args(TraceEvent& event, std::initializer_list<TraceArg> args) {
 }
 }  // namespace
 
+std::uint64_t events_digest(std::span<const TraceEvent> events) noexcept {
+  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+  std::uint64_t h = kOffset;
+  const auto mix_byte = [&h](std::uint8_t byte) {
+    h = (h ^ byte) * kPrime;
+  };
+  const auto mix_u64 = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  };
+  const auto mix_double = [&](double d) {
+    // NaN sim times (no sim clock) digest as one canonical pattern.
+    std::uint64_t bits;
+    if (d != d) {
+      bits = 0x7ff8000000000000ULL;
+    } else {
+      static_assert(sizeof(double) == sizeof(std::uint64_t));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+    }
+    mix_u64(bits);
+  };
+  const auto mix_str = [&](const char* s) {
+    for (; s != nullptr && *s != '\0'; ++s) {
+      mix_byte(static_cast<std::uint8_t>(*s));
+    }
+    mix_byte(0);  // terminator keeps ("ab","c") != ("a","bc")
+  };
+  for (const TraceEvent& e : events) {
+    mix_str(e.category);
+    mix_str(e.name);
+    mix_byte(static_cast<std::uint8_t>(e.phase));
+    mix_u64(e.track);
+    mix_double(e.sim_time_seconds);
+    mix_double(e.duration_seconds);
+    mix_u64(e.seq);
+    const std::size_t n = e.arg_count();
+    mix_u64(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      mix_str(e.args[i].key);
+      mix_double(e.args[i].value);
+    }
+  }
+  return h;
+}
+
 TraceRecorder::TraceRecorder(std::size_t capacity)
     : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {
   if (capacity_ == 0) {

@@ -27,6 +27,7 @@
 #include <functional>
 #include <initializer_list>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "obs/context.hpp"
@@ -59,6 +60,14 @@ struct TraceEvent {
     return n;
   }
 };
+
+/// FNV-1a digest over every deterministic field of the events — category,
+/// name, phase, track, sim time, duration, sequence number, and args — and
+/// deliberately NOT wall_time_us, which differs between runs. Two runs of
+/// the same seeded workload must produce the same digest: the adversarial
+/// replay harness uses it as the bit-identical-event-stream witness.
+[[nodiscard]] std::uint64_t events_digest(
+    std::span<const TraceEvent> events) noexcept;
 
 class TraceRecorder {
  public:

@@ -93,6 +93,12 @@ EpochWorkload WorkloadGenerator::epoch(common::Rng& rng) const {
   return workload;
 }
 
+EpochWorkload WorkloadGenerator::epoch_keyed(std::uint64_t seed,
+                                             std::size_t epoch_index) const {
+  common::Rng rng = common::Rng::stream(seed, epoch_index);
+  return epoch(rng);
+}
+
 EpochWorkload WorkloadGenerator::epoch_from_window(std::size_t epoch_index,
                                                    double window_seconds,
                                                    common::Rng& rng) const {

@@ -222,6 +222,139 @@ TEST(ChaosEpochTest, BindingCapacitySweepAlsoHoldsTheCriterion) {
   }
 }
 
+TEST(ChaosEpochTest, EventAimedAtDepartedVictimIsSkippedNotMisfired) {
+  // Satellite regression: victims resolve against the LIVE membership at
+  // fire time. A crash aimed (by id) at a committee that already left must
+  // be skipped and counted — not applied to a stale index.
+  const auto committees = workload_committees(10, 14);
+  const std::uint32_t departed = committees[3].submission.committee_id;
+  FaultPlan plan;
+  FaultEvent leave;
+  leave.kind = FaultKind::kLeave;
+  leave.committee_id = departed;
+  leave.at_seconds = 10.0;
+  plan.events.push_back(leave);
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.committee_id = departed;  // no longer live when this fires
+  crash.at_seconds = 100.0;
+  plan.events.push_back(crash);
+  ChaosConfig config = chaos_config(10, 10'000);
+  config.supervisor.scheduler.n_max_fraction = 1.0;  // admit all 9 live
+  const ChaosReport report = run_chaos_epoch(committees, plan, config, 41);
+  EXPECT_EQ(report.leaves, 1u);
+  EXPECT_EQ(report.skipped_events, 1u);
+  // Nobody else got hit: every remaining committee still delivered.
+  EXPECT_EQ(report.admitted, committees.size() - 1);
+  EXPECT_FALSE(contains(report.final_decision.decision.permitted_ids,
+                        departed));
+  EXPECT_FALSE(report.infeasible_while_feasible);
+}
+
+TEST(ChaosEpochTest, LiveRankVictimsResolveAgainstPostChurnMembership) {
+  // kByLiveRank rank r means "the r-th live member in join order AT FIRE
+  // TIME". After committees[1] leaves, rank 1 is committees[2] — a stale
+  // epoch-start resolution would have crashed committees[1] again.
+  const auto committees = workload_committees(10, 15);
+  FaultPlan plan;
+  FaultEvent leave;
+  leave.kind = FaultKind::kLeave;
+  leave.committee_id = committees[1].submission.committee_id;
+  leave.at_seconds = 10.0;
+  plan.events.push_back(leave);
+  FaultEvent crash;
+  crash.kind = FaultKind::kCrash;
+  crash.victim = FaultEvent::Victim::kByLiveRank;
+  crash.committee_id = 1;  // live rank, not an id
+  crash.at_seconds = 50.0;
+  plan.events.push_back(crash);
+  const ChaosReport report =
+      run_chaos_epoch(committees, plan, chaos_config(10, 10'000), 42);
+  EXPECT_EQ(report.leaves, 1u);
+  EXPECT_EQ(report.skipped_events, 0u);
+  // The crash landed on committees[2] before its submission went out.
+  EXPECT_GE(report.dropped_submissions, 1u);
+  EXPECT_FALSE(contains(report.final_decision.decision.permitted_ids,
+                        committees[2].submission.committee_id));
+  // Both churn victims are out; everyone else delivered.
+  EXPECT_EQ(report.admitted, committees.size() - 2);
+  // A rank beyond the live membership is skipped, never clamped.
+  FaultEvent overflow = crash;
+  overflow.committee_id = 64;
+  overflow.at_seconds = 60.0;
+  FaultPlan plan2 = plan;
+  plan2.events.push_back(overflow);
+  const ChaosReport report2 =
+      run_chaos_epoch(committees, plan2, chaos_config(10, 10'000), 42);
+  EXPECT_EQ(report2.skipped_events, 1u);
+}
+
+TEST(ChaosEpochTest, ForgerySilentlyReplacesBeforeDeliveryAndStrikesAfter) {
+  // The two faces of kForgeSubmission that targeted corruption straddles:
+  // before the honest report is delivered the forgery REPLACES it (the only
+  // submission that ever arrives verifies, so admission cannot object);
+  // after delivery it lands as a second verified claim and is struck as an
+  // equivocation — the detectable signal the risk policy feeds on.
+  const auto committees = workload_committees(10, 16);
+  const std::uint32_t victim = committees[5].submission.committee_id;
+  const std::uint64_t honest_claim = committees[5].submission.claimed_tx_count;
+
+  FaultPlan silent;
+  silent.events.push_back(
+      {FaultKind::kForgeSubmission, victim, 1.0, 0.0, 3.0});
+  const ChaosReport pre =
+      run_chaos_epoch(committees, silent, chaos_config(10, 50'000), 43);
+  EXPECT_FALSE(contains(pre.quarantined_ids, victim));
+  EXPECT_FALSE(contains(pre.banned_ids, victim));
+  bool saw_inflated = false;
+  for (const auto& r : pre.final_reports) {
+    if (r.committee_id == victim) {
+      EXPECT_GT(r.tx_count, honest_claim);  // the forged s_i was admitted
+      saw_inflated = true;
+    }
+  }
+  EXPECT_TRUE(saw_inflated);
+
+  FaultPlan late;
+  late.events.push_back(
+      {FaultKind::kForgeSubmission, victim, 1700.0, 0.0, 3.0});
+  const ChaosReport post =
+      run_chaos_epoch(committees, late, chaos_config(10, 50'000), 43);
+  EXPECT_GE(post.quarantine_events, 1u);
+  EXPECT_TRUE(contains(post.quarantined_ids, victim) ||
+              contains(post.banned_ids, victim));
+  EXPECT_FALSE(
+      contains(post.final_decision.decision.permitted_ids, victim));
+}
+
+TEST(ChaosEpochTest, JoinAdmitsReserveCommitteeAndOverflowSlotIsSkipped) {
+  const auto all = workload_committees(12, 17);
+  const std::vector<ChaosCommittee> initial(all.begin(), all.begin() + 10);
+  ChaosConfig config = chaos_config(12, 20'000);
+  config.supervisor.scheduler.n_max_fraction = 1.0;  // room for the joiner
+  config.reserve.assign(all.begin() + 10, all.end());
+  const std::uint32_t joiner = all[10].submission.committee_id;
+  FaultPlan plan;
+  FaultEvent join;
+  join.kind = FaultKind::kJoin;
+  join.committee_id = 0;  // reserve slot index, not a committee id
+  join.at_seconds = 700.0;
+  plan.events.push_back(join);
+  FaultEvent overflow = join;
+  overflow.committee_id = 9;  // only 2 reserve slots exist
+  overflow.at_seconds = 710.0;
+  plan.events.push_back(overflow);
+  const ChaosReport report = run_chaos_epoch(initial, plan, config, 44);
+  EXPECT_EQ(report.joins, 1u);
+  EXPECT_EQ(report.skipped_events, 1u);
+  bool joiner_reported = false;
+  for (const auto& r : report.final_reports) {
+    joiner_reported |= r.committee_id == joiner;
+  }
+  EXPECT_TRUE(joiner_reported);
+  EXPECT_FALSE(report.infeasible_while_feasible);
+}
+
 TEST(ChaosEpochTest, ElasticoEpochFeedsTheChaosHarnessEndToEnd) {
   // End-to-end: a real Elastico epoch (PoW formation → PBFT per committee)
   // produces the shard reports, which become verifiable submissions driven

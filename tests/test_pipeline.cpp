@@ -247,6 +247,39 @@ TEST(PipelineStop, GracefulStopKeepsAccountingConsistent) {
   EXPECT_EQ(pipe.chain().total_txs(), totals.committed_txs);
 }
 
+TEST(ServeSessionStop, EarlyStopStillFlushesValidArtifacts) {
+  // Satellite hardening: a stop request landing mid-run (what the SIGINT
+  // handler does) must still leave a valid root-chain checkpoint and
+  // validator-passing exporter artifacts — the scope-exit flush path.
+  const std::string dir = ::testing::TempDir();
+  mvcom::pipeline::ServeConfig config;
+  config.pipeline = small_config();
+  config.pipeline.epochs = 6;
+  config.stream.num_blocks = 90;
+  config.stream.target_total_txs = 45'000;
+  config.stream.mean_interblock_seconds = 15.0;
+  config.metrics_out = dir + "serve_stop_metrics.prom";
+  config.metrics_csv_out = dir + "serve_stop_metrics.csv";
+  config.trace_out = dir + "serve_stop_trace.json";
+  config.checkpoint_out = dir + "serve_stop_checkpoint.json";
+  config.checkpoint_every = 1;
+  mvcom::pipeline::ServeSession session(config);
+  std::size_t seen = 0;
+  const mvcom::pipeline::ServeSummary summary =
+      session.run([&](const EpochReport&) {
+        // Fires from inside the pipeline, like the signal handler would.
+        if (++seen == 2) session.request_stop();
+      });
+  EXPECT_TRUE(summary.totals.stopped_early);
+  EXPECT_EQ(summary.totals.epochs_run, 2u);
+  EXPECT_TRUE(summary.chain_valid);
+  EXPECT_TRUE(summary.artifacts_valid);
+  EXPECT_GE(summary.checkpoints_written, 2u);
+  // Truncated-run accounting stays exact.
+  EXPECT_EQ(summary.totals.ingested_txs,
+            summary.totals.committed_txs + summary.totals.pending_txs);
+}
+
 TEST(PipelineChain, EveryEpochExtendsTheRootChain) {
   const Trace trace = small_trace();
   EpochPipeline pipe(trace, small_config());

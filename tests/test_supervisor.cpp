@@ -355,6 +355,179 @@ TEST(FeasibleSelectionExistsTest, ExactBoundaryAndOverflowSafety) {
       huge, std::numeric_limits<std::uint64_t>::max(), 2));
 }
 
+TEST(SupervisorCarryTest, EquivocationEscalatesMonotonicallyAcrossEpochs) {
+  // Satellite: quarantine → strike → ban must escalate monotonically when
+  // the SAME committee re-offends in successive epochs, with the strike
+  // state threaded through export_carry/adopt_carry.
+  mvcom::core::SupervisorCarry carry;
+  int last_strikes = 0;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    EpochSupervisor sup(config(), 30 + static_cast<std::uint64_t>(epoch));
+    sup.adopt_carry(carry);
+    for (std::uint32_t i = 0; i < 6; ++i) {
+      sup.on_submission(honest(i, 600), 700.0, 50.0);
+    }
+    // One equivocation per epoch (a verified submission binding a new s_i).
+    const Admission a = sup.on_submission(honest(0, 900), 700.0, 50.0);
+    // max_strikes = 3: epochs 0 and 1 quarantine, epoch 2 bans.
+    EXPECT_EQ(a, epoch < 2 ? Admission::kQuarantined : Admission::kBanned);
+    carry = sup.export_carry();
+    ASSERT_FALSE(carry.entries.empty());
+    const auto& entry = carry.entries.front();
+    EXPECT_EQ(entry.committee_id, 0u);
+    EXPECT_GT(entry.strikes, last_strikes);  // strictly monotone
+    last_strikes = entry.strikes;
+    EXPECT_EQ(entry.banned, epoch == 2);
+  }
+}
+
+TEST(SupervisorCarryTest, CarriedBanRefusesSubmissionAndHeartbeatReturn) {
+  mvcom::core::SupervisorCarry carry;
+  carry.entries.push_back({4, 3, true});
+  EpochSupervisor sup(config(), 33);
+  sup.adopt_carry(carry);
+  // Even a perfectly honest submission is refused for the whole epoch...
+  EXPECT_EQ(sup.on_submission(honest(4, 600), 700.0, 50.0),
+            Admission::kBanned);
+  EXPECT_FALSE(reports_contain(sup, 4));
+  // ...and the recovery door (what the heartbeat monitor calls when a ping
+  // returns) never re-admits a banned committee either.
+  EXPECT_FALSE(sup.on_recovery(4));
+  EXPECT_FALSE(reports_contain(sup, 4));
+  const auto banned = sup.banned_ids();
+  ASSERT_EQ(banned.size(), 1u);
+  EXPECT_EQ(banned[0], 4u);
+  // The ban itself survives the next export (monotone, never downgraded).
+  const auto out = sup.export_carry();
+  ASSERT_FALSE(out.entries.empty());
+  EXPECT_TRUE(out.entries.front().banned);
+}
+
+TEST(SupervisorCarryTest, CarriedStrikesAloneDoNotBanUntilNextOffense) {
+  // A committee arriving with its strike budget already exhausted is NOT
+  // banned on adoption (membership is unknown then); the ban fires at its
+  // next in-epoch offense instead.
+  mvcom::core::SupervisorCarry carry;
+  carry.entries.push_back({0, 3, false});
+  EpochSupervisor sup(config(), 34);
+  sup.adopt_carry(carry);
+  EXPECT_EQ(sup.on_submission(honest(0, 600), 700.0, 50.0),
+            Admission::kAdmitted);
+  EXPECT_EQ(sup.on_submission(inflated(0, 600, 1800), 700.0, 50.0),
+            Admission::kBanned);
+}
+
+TEST(RiskPolicyTest, TightenedStrikeBudgetNeverBansAFirstOffense) {
+  SupervisorConfig c = config();
+  c.risk.enabled = true;
+  c.risk.tighten_step = 0.5;  // extreme tightening pressure
+  EpochSupervisor sup(c, 35);
+  mvcom::core::SupervisorCarry carry;
+  carry.risk = 1000.0;  // inherited panic from prior epochs
+  sup.adopt_carry(carry);
+  // The floor: however tight the budget gets, a first offense only
+  // quarantines — instant bans would let a broad attack convert the whole
+  // membership into bans.
+  EXPECT_EQ(sup.effective_max_strikes(), 2);
+  EXPECT_EQ(sup.on_submission(inflated(0, 600, 1200), 700.0, 50.0),
+            Admission::kQuarantined);
+  EXPECT_FALSE(sup.health(0)->banned);
+}
+
+TEST(RiskPolicyTest, BanIsSuppressedWhenItWouldCostUsableMembers) {
+  // Risk-adaptive supervisors refuse to ban below the N_max line: with the
+  // whole membership at 2 committees, even endless re-offending keeps the
+  // offender quarantined (excluded from decisions) but never banned.
+  SupervisorConfig c = config(2);
+  c.risk.enabled = true;
+  EpochSupervisor sup(c, 36);
+  sup.on_submission(honest(1, 600), 700.0, 50.0);
+  for (int offense = 0; offense < 6; ++offense) {
+    EXPECT_EQ(sup.on_submission(
+                  inflated(0, 600, 1200 + 100 * static_cast<std::uint64_t>(
+                                              offense)),
+                  700.0, 50.0),
+              Admission::kQuarantined)
+        << "offense " << offense;
+  }
+  EXPECT_FALSE(sup.health(0)->banned);
+  EXPECT_GE(sup.health(0)->strikes, 6);
+  EXPECT_FALSE(permits(sup.decide(), 0));  // still never admitted
+  // The static supervisor keeps the paper's unconditional ban.
+  EpochSupervisor fixed(config(2), 36);
+  fixed.on_submission(honest(1, 600), 700.0, 50.0);
+  fixed.on_submission(inflated(0, 600, 1200), 700.0, 50.0);
+  fixed.on_submission(inflated(0, 600, 1300), 700.0, 50.0);
+  EXPECT_EQ(fixed.on_submission(inflated(0, 600, 1400), 700.0, 50.0),
+            Admission::kBanned);
+}
+
+TEST(RiskPolicyTest, BanStillFiresWhileMembershipExceedsNmax) {
+  // Above the N_max cutoff bans are free (listening stopped there anyway):
+  // 8 honest members + the offender = 9 unbanned > N_max = 8.
+  SupervisorConfig c = config(10);
+  c.risk.enabled = true;
+  EpochSupervisor sup(c, 37);
+  for (std::uint32_t i = 1; i <= 8; ++i) {
+    sup.on_submission(honest(i, 600), 700.0, 50.0);
+  }
+  sup.on_submission(inflated(0, 600, 1200), 700.0, 50.0);
+  sup.on_submission(inflated(0, 600, 1300), 700.0, 50.0);
+  EXPECT_EQ(sup.on_submission(inflated(0, 600, 1400), 700.0, 50.0),
+            Admission::kBanned);
+  EXPECT_TRUE(sup.health(0)->banned);
+}
+
+TEST(RiskPolicyTest, StrikesRaiseNminWithTheorem2Accounting) {
+  SupervisorConfig c = config(10, 4800);  // 8 × 600 fits exactly
+  c.risk.enabled = true;
+  c.risk.escalation_step = 1.0;  // +1 N_min per strike
+  EpochSupervisor sup(c, 38);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    sup.on_submission(honest(i, 600), 700.0, 50.0);
+  }
+  const std::size_t base = sup.scheduler().n_min();
+  ASSERT_EQ(base, 5u);  // ⌈0.5 · 10⌉
+  sup.on_submission(inflated(8, 600, 1800), 700.0, 50.0);
+  sup.on_submission(inflated(9, 600, 1800), 700.0, 50.0);
+  EXPECT_GT(sup.risk_score(), 0.0);
+  EXPECT_EQ(sup.scheduler().n_min(), base + 2);
+  ASSERT_FALSE(sup.resizes().empty());
+  const auto& last = sup.resizes().back();
+  EXPECT_EQ(last.n_min_after, base + 2);
+  EXPECT_GT(last.n_min_after, last.n_min_before);
+  EXPECT_GE(last.perturbation_bound, 0.0);
+  EXPECT_TRUE(last.within_bound);
+  // The boosted floor still admits a feasible decision (the clamp's job).
+  const auto d = sup.decide();
+  EXPECT_TRUE(d.decision.feasible);
+  EXPECT_GE(d.decision.permitted_ids.size(), base + 2);
+}
+
+TEST(RiskPolicyTest, ExportedRiskDecaysByCarryFactor) {
+  SupervisorConfig c = config();
+  c.risk.enabled = true;  // carry_decay = 0.5
+  EpochSupervisor sup(c, 39);
+  sup.on_submission(inflated(0, 600, 1200), 700.0, 50.0);
+  sup.on_submission(inflated(1, 600, 1200), 700.0, 50.0);
+  EXPECT_DOUBLE_EQ(sup.risk_score(), 2.0);  // strike_weight = 1
+  const auto carry = sup.export_carry();
+  EXPECT_DOUBLE_EQ(carry.risk, 1.0);
+  ASSERT_EQ(carry.entries.size(), 2u);
+}
+
+TEST(OnlineSchedulerResizeTest, SetNminRefusesToReachTheNmaxCutoff) {
+  mvcom::core::OnlineCommitteeScheduler sched(config().scheduler, 40);
+  // N_max = ⌈0.8 · 10⌉ = 8: raising N_min to 8 would make bootstrap
+  // unreachable, so the call must refuse and change nothing.
+  const std::size_t before = sched.n_min();
+  EXPECT_TRUE(sched.set_n_min(7));
+  EXPECT_EQ(sched.n_min(), 7u);
+  EXPECT_FALSE(sched.set_n_min(sched.n_max_count()));
+  EXPECT_EQ(sched.n_min(), 7u);
+  EXPECT_TRUE(sched.set_n_min(before));
+}
+
 TEST(SupervisorConfigTest, RejectsDegenerateParameters) {
   SupervisorConfig bad_strikes = config();
   bad_strikes.max_strikes = 0;

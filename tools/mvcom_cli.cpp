@@ -38,6 +38,19 @@
 //       Prints the plan, the utility timeline, the Theorem-2 accounting per
 //       failure, and the final tier-attributed decision.
 //
+//   mvcom chaos --adversary <strategy> [--epochs N] [--budget B]
+//               [--committees N] [--capacity C] [--reserve N] [--risk 0|1]
+//               [--inflation X] [--seed S] [--ddl T]
+//       Multi-epoch STRATEGIC campaign instead of a random plan: the
+//       adversary (targeted-corruption | colluding-misreport | adaptive-dos
+//       | churn-storm) observes each epoch's realized decision and aims the
+//       next epoch's faults at it, while the supervisor carries strikes,
+//       bans, and (with --risk 1, the default) the risk-adaptive N_min
+//       policy across epochs. Prints per-epoch utility/safety plus two
+//       replay witnesses — the campaign decision digest and the obs
+//       event-stream digest — which must be bit-identical across runs with
+//       the same seed (the CI adversarial-smoke contract).
+//
 // The `schedule` and `chaos` commands accept observability sinks:
 //   --metrics-out <file.prom>   Prometheus text exposition of every counter,
 //                               gauge, and histogram the run touched.
@@ -58,6 +71,7 @@
 
 #include "analysis/theory.hpp"
 #include "common/rng.hpp"
+#include "mvcom/adversary/campaign.hpp"
 #include "mvcom/fault_injection.hpp"
 #include "mvcom/se_scheduler.hpp"
 #include "obs/context.hpp"
@@ -292,7 +306,115 @@ int cmd_bounds(const Args& args) {
   return 0;
 }
 
+int cmd_chaos_adversary(const Args& args, const std::string& strategy_name) {
+  const auto strategy = mvcom::core::parse_adversary_strategy(strategy_name);
+  if (!strategy) {
+    std::fprintf(stderr,
+                 "chaos: unknown adversary '%s' (targeted-corruption | "
+                 "colluding-misreport | adaptive-dos | churn-storm)\n",
+                 strategy_name.c_str());
+    return 2;
+  }
+  const std::size_t committees = args.get_u64("committees", 20);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const bool churn = *strategy == mvcom::core::AdversaryStrategy::kChurnStorm;
+
+  mvcom::core::CampaignConfig config;
+  config.adversary.strategy = *strategy;
+  config.adversary.budget = args.get_f64("budget", 0.35);
+  config.adversary.inflation = args.get_f64("inflation", 3.0);
+  config.committees = committees;
+  config.epochs = args.get_u64("epochs", 6);
+  config.reserve = args.get_u64("reserve", churn ? committees : 0);
+
+  auto& sched = config.chaos.supervisor.scheduler;
+  sched.alpha = args.get_f64("alpha", 1.5);
+  // Capacity with modest slack past N_min·E[s_i] (~1088 TXs/shard): a lone
+  // inflated claim still fits beside the N_min−1 smallest honest shards —
+  // the crowding-out regime the risk-adaptive defense exists for.
+  sched.capacity = args.get_u64("capacity", 725 * committees);
+  // The whole membership (and any joiner) must be admittable: an N_max
+  // listening cutoff below the membership depletes the honest pool, and a
+  // depleted pool is exactly what lets a forged claim fit inside the
+  // capacity at the feasibility-frontier N_min. Keep the *effective* N_min
+  // at 50% of the initial membership.
+  sched.expected_committees = committees + config.reserve;
+  sched.n_max_fraction = 1.0;
+  if (config.reserve > 0) {
+    sched.n_min_fraction = 0.5 * static_cast<double>(committees) /
+                           static_cast<double>(committees + config.reserve);
+  }
+  config.chaos.ddl_seconds = args.get_f64("ddl", 1800.0);
+  config.chaos.supervisor.risk.enabled = args.get_u64("risk", 1) != 0;
+  config.chaos.supervisor.risk.escalation_step = 1.2;
+  config.chaos.supervisor.risk.boost_cap = 8;
+
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = std::max<std::uint64_t>(64, committees + config.reserve);
+  tc.target_total_txs = tc.num_blocks * 1000;
+  mvcom::common::Rng trace_rng(seed + 1);
+  const auto trace = mvcom::txn::generate_trace(tc, trace_rng);
+
+  // The obs event stream doubles as the replay witness, so a recorder is
+  // always attached — the user's --trace-out sink when given, else a local
+  // one that only feeds the digest.
+  ObsSinks sinks(args);
+  std::optional<mvcom::obs::TraceRecorder> local_recorder;
+  mvcom::obs::ObsContext obs = sinks.context();
+  if (obs.trace() == nullptr) {
+    local_recorder.emplace();
+    obs = {obs.metrics(), &*local_recorder};
+  }
+  config.chaos.obs = obs;
+
+  const auto result =
+      mvcom::core::run_adversarial_campaign(trace, config, seed);
+  if (!sinks.flush()) return 1;
+
+  std::printf("adversary %s, budget %.2f, %zu epochs, %zu committees "
+              "(+%zu reserve), risk policy %s\n",
+              mvcom::core::to_string(*strategy), config.adversary.budget,
+              config.epochs, committees, config.reserve,
+              config.chaos.supervisor.risk.enabled ? "on" : "off");
+  for (std::size_t e = 0; e < result.epochs.size(); ++e) {
+    const auto& o = result.epochs[e];
+    std::printf(
+        "  epoch %2zu: %2zu faults  tier %-14s utility %10.1f  safety %.3f  "
+        "honest %6llu/%6llu TXs  n_min %2zu  joins %llu  leaves %llu  "
+        "skipped %llu  quar %zu  banned %zu  risk %.1f\n",
+        e, o.plan.events.size(),
+        mvcom::core::to_string(o.report.final_decision.tier), o.utility,
+        o.safety, static_cast<unsigned long long>(o.honest_permitted_txs),
+        static_cast<unsigned long long>(o.claimed_permitted_txs),
+        o.report.effective_n_min,
+        static_cast<unsigned long long>(o.report.joins),
+        static_cast<unsigned long long>(o.report.leaves),
+        static_cast<unsigned long long>(o.report.skipped_events),
+        o.report.quarantined_ids.size(), o.report.banned_ids.size(),
+        o.report.risk_score);
+  }
+  std::uint64_t honest_total = 0;
+  for (const auto& o : result.epochs) honest_total += o.honest_permitted_txs;
+  std::printf("mean utility %.1f, mean safety %.3f, honest permitted TXs "
+              "%llu\n",
+              result.mean_utility, result.mean_safety,
+              static_cast<unsigned long long>(honest_total));
+  const std::uint64_t obs_digest = mvcom::obs::events_digest(
+      obs.trace() != nullptr ? obs.trace()->snapshot()
+                             : std::vector<mvcom::obs::TraceEvent>{});
+  std::printf("decision digest: %016llx\n",
+              static_cast<unsigned long long>(result.decision_digest));
+  std::printf("obs events digest: %016llx\n",
+              static_cast<unsigned long long>(obs_digest));
+  std::printf("infeasible-while-feasible: %s\n",
+              result.infeasible_while_feasible ? "VIOLATED" : "never");
+  return result.infeasible_while_feasible ? 1 : 0;
+}
+
 int cmd_chaos(const Args& args) {
+  if (const auto it = args.flags.find("adversary"); it != args.flags.end()) {
+    return cmd_chaos_adversary(args, it->second);
+  }
   const std::size_t committees = args.get_u64("committees", 20);
   const std::uint64_t seed = args.get_u64("seed", 1);
 

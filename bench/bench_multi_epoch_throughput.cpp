@@ -24,9 +24,11 @@
 #include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "mvcom/se_scheduler.hpp"
+#include "txn/accounts/model.hpp"
 #include "txn/age.hpp"
 #include "txn/trace_generator.hpp"
 #include "txn/workload.hpp"
+#include "txn/xshard/scheduler.hpp"
 
 namespace {
 
@@ -109,10 +111,9 @@ RunTotals run(const Trace& trace, Policy policy, std::uint64_t seed,
     }
     for (PendingShard& s : dealt) {
       if (s.block_indices.empty()) continue;
-      const auto lat = mvcom::txn::sample_two_phase_latency(rng, wc);
       // Committees form as soon as the window closes; submission is absolute
       // so a later carry rebases exactly, however far consensus overran.
-      s.submit_time = window_end + lat.formation + lat.consensus;
+      s.submit_time = mvcom::txn::sample_submit_instant(rng, wc, window_end);
       s.latency = std::max(0.0, s.submit_time - start);
       shards.push_back(std::move(s));
     }
@@ -277,6 +278,93 @@ int main() {
              static_cast<double>(totals.committed_txs));
     json.set("gate_seconds_" + tag + "_pipeline", seconds);
     json.set("gate_rate_" + tag + "_committed_txs_per_sec", tx_rate);
+  }
+
+  // --- Account-model deferred carry: the streaming pipeline's stage A must
+  // stay pure, so it counts-and-drops the x-shard scheduler's deferrals
+  // (DESIGN.md §15). Here nothing is pure — so deferred account TXs carry
+  // into the next epoch's scheduling queue with their original timestamps
+  // (arrival round 0 after the clamp), and we measure how long they wait:
+  // the per-TX age story of the main bench, at account granularity.
+  mvcom::bench::print_header(
+      "Account-model carry",
+      "deferred cross-shard TXs re-queued across epochs, conflict-aware arm");
+  {
+    mvcom::txn::AccountModelConfig model;
+    model.num_accounts = 50'000;
+    model.num_shards = 20;
+    model.txs_per_epoch = 20'000;
+    model.cross_shard_ratio = 0.3;
+    mvcom::txn::XShardConfig xc;
+    xc.num_shards = model.num_shards;
+    const mvcom::txn::AccountTxGenerator generator(model);
+    constexpr std::uint64_t kCarrySeed = 7;
+    constexpr std::size_t kCarryEpochs = 6;
+
+    struct QueuedTx {
+      mvcom::txn::AccountTx tx;
+      std::size_t born = 0;  // epoch the TX first arrived in
+    };
+    std::vector<QueuedTx> backlog;
+    std::uint64_t committed = 0, committed_carried = 0, ingested = 0;
+    std::uint64_t defer_epoch_sum = 0;  // Σ (commit epoch − born), committed
+    std::printf("  %-6s %10s %10s %10s %10s\n", "epoch", "fresh", "carried",
+                "committed", "backlog");
+    for (std::size_t e = 0; e < kCarryEpochs; ++e) {
+      const auto fresh = generator.epoch_keyed(kCarrySeed, e);
+      ingested += fresh.txs.size();
+      mvcom::txn::AccountEpoch merged;
+      merged.epoch_index = fresh.epoch_index;
+      merged.window_start = fresh.window_start;
+      merged.window_end = fresh.window_end;
+      std::vector<std::size_t> born;
+      merged.txs.reserve(backlog.size() + fresh.txs.size());
+      born.reserve(backlog.size() + fresh.txs.size());
+      for (const QueuedTx& q : backlog) {
+        merged.txs.push_back(q.tx);
+        born.push_back(q.born);
+      }
+      for (const auto& tx : fresh.txs) {
+        merged.txs.push_back(tx);
+        born.push_back(e);
+      }
+      // Carried timestamps predate this window, so the backlog prefix is
+      // already in (timestamp, tx_id) order and fresh TXs arrive sorted —
+      // the merged queue keeps the scheduler's arrival-order contract.
+      const std::size_t carried_in = backlog.size();
+      const auto result = mvcom::txn::run_epoch(merged, xc, kCarrySeed);
+      backlog.clear();
+      for (std::size_t t = 0; t < merged.txs.size(); ++t) {
+        if (result.outcome.tx_outcomes[t].cls ==
+            mvcom::txn::TxClass::kDeferred) {
+          backlog.push_back({merged.txs[t], born[t]});
+        } else {
+          ++committed;
+          if (born[t] < e) ++committed_carried;
+          defer_epoch_sum += e - born[t];
+        }
+      }
+      std::printf("  %-6zu %10zu %10zu %10llu %10zu\n", e, fresh.txs.size(),
+                  carried_in,
+                  static_cast<unsigned long long>(result.outcome.committed_txs),
+                  backlog.size());
+    }
+    const double mean_defer =
+        committed == 0 ? 0.0
+                       : static_cast<double>(defer_epoch_sum) /
+                             static_cast<double>(committed);
+    std::printf("  carry total: %llu/%llu TXs committed (%llu after a carry, "
+                "mean wait %.2f epochs), backlog %zu\n",
+                static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(ingested),
+                static_cast<unsigned long long>(committed_carried), mean_defer,
+                backlog.size());
+    json.set("account_carry_committed_txs", static_cast<double>(committed));
+    json.set("account_carry_committed_after_carry",
+             static_cast<double>(committed_carried));
+    json.set("account_carry_mean_wait_epochs", mean_defer);
+    json.set("account_carry_final_backlog_txs",
+             static_cast<double>(backlog.size()));
   }
 
   json.write();

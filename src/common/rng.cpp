@@ -1,5 +1,6 @@
 #include "common/rng.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -74,6 +75,14 @@ std::uint64_t Rng::poisson(double lambda) noexcept {
   return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
 }
 
+double Rng::bounded_pareto(double lo, double hi, double alpha) noexcept {
+  assert(lo > 0.0 && hi > lo && alpha > 0.0);
+  // Inverse CDF of the truncated Pareto: F(x) = (1 − (lo/x)^a) / (1 − (lo/hi)^a).
+  const double ratio = std::pow(lo / hi, alpha);
+  const double u = uniform01();
+  return lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+}
+
 std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   assert(k <= n);
   std::vector<std::size_t> pool(n);
@@ -84,6 +93,36 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
   }
   pool.resize(k);
   return pool;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : skew_(s) {
+  assert(n >= 1 && s >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+std::uint32_t ZipfSampler::operator()(Rng& rng) const noexcept {
+  const double u = rng.uniform01();
+  // First k with cdf_[k] > u; u < 1 and cdf_.back() == 1 guarantee a hit.
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint32_t>(it - cdf_.begin());
+}
+
+void ZipfSampler::fill(Rng& rng, std::span<std::uint32_t> out) const noexcept {
+  // Uniforms are drawn first, in engine order, so the transform loop below
+  // is free of engine-state dependencies — the same discipline as
+  // fill_uniform01. The sequence equals out.size() sequential draws.
+  for (std::uint32_t& v : out) {
+    const double u = rng.uniform01();
+    const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+    v = static_cast<std::uint32_t>(it - cdf_.begin());
+  }
 }
 
 }  // namespace mvcom::common

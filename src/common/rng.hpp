@@ -119,6 +119,12 @@ class Rng {
   /// Bernoulli trial with success probability p.
   bool bernoulli(double p) noexcept { return uniform01() < p; }
 
+  /// Bounded-Pareto variate on [lo, hi] with tail index alpha, by inverse
+  /// CDF. The continuous analogue of the Zipf rank distribution — used for
+  /// heavy-tailed sizes (account balances, burst magnitudes) where a hard
+  /// upper bound must hold. Preconditions: 0 < lo < hi, alpha > 0.
+  double bounded_pareto(double lo, double hi, double alpha) noexcept;
+
   /// Exponential variate with the given mean (= 1/rate). Used heavily by the
   /// SE algorithm's countdown timers (Eq. 8 of the paper) and by the PoW
   /// solve-latency model. Precondition: mean > 0.
@@ -157,6 +163,33 @@ class Rng {
   // Cached spare normal variate for the polar method.
   bool has_spare_ = false;
   double spare_ = 0.0;
+};
+
+/// Exact Zipf(s) sampler over the ranks {0, …, n−1}: P(k) ∝ 1/(k+1)^s.
+/// Inverse-CDF: the normalized CDF is precomputed once (O(n)), each draw is
+/// one uniform01() plus a binary search (O(log n)) — so the engine advances
+/// exactly one step per variate, which keeps substream accounting trivial.
+/// Construction is the only allocating operation; sampling is const and
+/// safe to share across threads that each hold their own Rng.
+class ZipfSampler {
+ public:
+  /// Preconditions: n >= 1, s >= 0 (s = 0 degenerates to uniform ranks).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Draws one rank, consuming exactly one engine step.
+  [[nodiscard]] std::uint32_t operator()(Rng& rng) const noexcept;
+
+  /// Fills `out` with ranks, consuming exactly out.size() engine steps in
+  /// order — the batch form symmetric with Rng::fill_uniform01, so a batch
+  /// fill and a draw loop produce identical sequences.
+  void fill(Rng& rng, std::span<std::uint32_t> out) const noexcept;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double skew() const noexcept { return skew_; }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1.0
+  double skew_ = 0.0;
 };
 
 }  // namespace mvcom::common

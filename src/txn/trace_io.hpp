@@ -1,9 +1,16 @@
 #pragma once
-// CSV persistence for traces — the on-disk format mirrors the four-column
-// schema of the paper's dataset: blockID,bhash,btime,txs.
+// CSV persistence for traces. Two schemas:
+//   * block traces — the four-column schema of the paper's dataset:
+//     blockID,bhash,btime,txs;
+//   * account-TX traces — txID,ts,sender,writes,reads, where writes/reads
+//     are ';'-joined account ids inside one CSV field (empty field = empty
+//     set). The account schema is what `mvcom xshard --trace-out` emits and
+//     what replayed contention experiments load back.
 
 #include <filesystem>
+#include <vector>
 
+#include "txn/accounts/model.hpp"
 #include "txn/trace.hpp"
 
 namespace mvcom::txn {
@@ -14,5 +21,15 @@ void write_trace_csv(const Trace& trace, const std::filesystem::path& path);
 /// Loads a trace written by write_trace_csv (or any file with the same
 /// schema). Throws std::runtime_error on malformed input.
 [[nodiscard]] Trace load_trace_csv(const std::filesystem::path& path);
+
+/// Writes account TXs as CSV with header "txID,ts,sender,writes,reads".
+void write_account_txs_csv(const std::vector<AccountTx>& txs,
+                           const std::filesystem::path& path);
+
+/// Loads account TXs written by write_account_txs_csv. Throws
+/// std::runtime_error on malformed input (bad header, arity, or numeric
+/// field — the error names the offending field, as the block loader does).
+[[nodiscard]] std::vector<AccountTx> load_account_txs_csv(
+    const std::filesystem::path& path);
 
 }  // namespace mvcom::txn

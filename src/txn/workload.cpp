@@ -44,6 +44,15 @@ TwoPhaseLatency sample_two_phase_latency(common::Rng& rng,
   return out;
 }
 
+double sample_submit_instant(common::Rng& rng, const WorkloadConfig& config,
+                             double window_close) {
+  // Summed left-to-right from window_close: bitwise-identical to the
+  // historical inline `window_close + lat.formation + lat.consensus`, so
+  // adopting the helper never moves a digest or a baseline.
+  const TwoPhaseLatency lat = sample_two_phase_latency(rng, config);
+  return window_close + lat.formation + lat.consensus;
+}
+
 WorkloadGenerator::WorkloadGenerator(Trace trace, WorkloadConfig config)
     : trace_(std::move(trace)), config_(config) {
   if (config_.num_committees == 0) {

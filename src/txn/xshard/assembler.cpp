@@ -1,0 +1,74 @@
+#include "txn/xshard/assembler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mvcom::txn {
+
+const char* to_string(AssemblerPolicy policy) noexcept {
+  switch (policy) {
+    case AssemblerPolicy::kConflictAware:
+      return "conflict-aware";
+    case AssemblerPolicy::kRandomOblivious:
+      return "random-oblivious";
+  }
+  return "unknown";
+}
+
+Assembly assemble(const AccountEpoch& epoch, std::uint32_t num_shards,
+                  AssemblerPolicy policy, common::Rng& rng) {
+  if (num_shards == 0) {
+    throw std::invalid_argument("assemble: need at least one shard");
+  }
+  Assembly out;
+  out.placement.resize(epoch.txs.size());
+
+  // Scratch reused across TXs: touched-shard tallies this TX (sparse reset
+  // via the touched list) and running per-shard load for tie-breaking.
+  std::vector<std::uint32_t> tally(num_shards, 0);
+  std::vector<std::uint32_t> touched;
+  std::vector<std::uint64_t> load(num_shards, 0);
+
+  for (std::size_t t = 0; t < epoch.txs.size(); ++t) {
+    const AccountTx& tx = epoch.txs[t];
+    touched.clear();
+    tx.for_each_account([&](std::uint32_t account, bool /*write*/) {
+      const std::uint32_t shard = home_shard(account, num_shards);
+      if (tally[shard]++ == 0) touched.push_back(shard);
+    });
+
+    std::uint32_t placement = 0;
+    if (policy == AssemblerPolicy::kRandomOblivious) {
+      placement = static_cast<std::uint32_t>(rng.below(num_shards));
+    } else {
+      // Majority home shard; ties by lighter current load, then lower id —
+      // all three keys deterministic, so the arm needs no rng at all.
+      std::uint32_t best = touched.front();
+      for (const std::uint32_t shard : touched) {
+        if (tally[shard] > tally[best] ||
+            (tally[shard] == tally[best] &&
+             (load[shard] < load[best] ||
+              (load[shard] == load[best] && shard < best)))) {
+          best = shard;
+        }
+      }
+      placement = best;
+    }
+    out.placement[t] = placement;
+    load[placement] += 1;
+
+    // Legs: the home leg plus one per distinct foreign shard homing an
+    // accessed account. A random placement off every account's home still
+    // pays the home leg itself plus all the account shards as remotes.
+    const bool placement_touched = tally[placement] != 0;
+    const std::uint64_t legs =
+        static_cast<std::uint64_t>(touched.size()) + (placement_touched ? 0 : 1);
+    out.total_legs += legs;
+    if (legs > 1) ++out.cross_txs;
+
+    for (const std::uint32_t shard : touched) tally[shard] = 0;
+  }
+  return out;
+}
+
+}  // namespace mvcom::txn

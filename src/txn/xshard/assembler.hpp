@@ -1,0 +1,49 @@
+#pragma once
+// Conflict-aware shard assembly — mapping each epoch's account TXs onto the
+// member committees' shards. A TX "lives" at its placement shard (where its
+// home leg executes); every *other* shard that homes one of its accounts
+// costs a remote leg in the 2-phase commit. Placement therefore decides how
+// much cross-shard traffic the scheduler must pay for:
+//
+//   kConflictAware — place each TX at the home shard owning the most of its
+//     accessed accounts (ties → lighter-loaded, then lower id). Minimizes
+//     that TX's remote legs and co-locates TXs that share hot accounts, so
+//     their conflicts serialize inside one committee instead of holding
+//     cross-shard locks.
+//   kRandomOblivious — place uniformly at random, ignoring account homes:
+//     the conflict-oblivious control arm of the bench_cross_shard sweeps.
+//
+// Assembly is a pure function of (epoch, num_shards, policy[, rng]); the
+// only randomness is the oblivious arm's placement draw, fed by an explicit
+// keyed stream so both arms replay bit-for-bit.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "txn/accounts/model.hpp"
+
+namespace mvcom::txn {
+
+enum class AssemblerPolicy {
+  kConflictAware,
+  kRandomOblivious,
+};
+
+[[nodiscard]] const char* to_string(AssemblerPolicy policy) noexcept;
+
+/// Per-epoch placement, parallel to AccountEpoch::txs.
+struct Assembly {
+  std::vector<std::uint32_t> placement;  // placement shard per TX
+  std::uint64_t total_legs = 0;  // Σ per-TX legs (home + distinct remotes)
+  std::uint64_t cross_txs = 0;   // TXs needing more than the home leg
+};
+
+/// Maps every TX of `epoch` onto a shard. `rng` is consumed only by
+/// kRandomOblivious (exactly one draw per TX); kConflictAware never touches
+/// it, so the conflict-aware arm is rng-free and trivially bitwise-stable.
+[[nodiscard]] Assembly assemble(const AccountEpoch& epoch,
+                                std::uint32_t num_shards,
+                                AssemblerPolicy policy, common::Rng& rng);
+
+}  // namespace mvcom::txn

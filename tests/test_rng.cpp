@@ -10,6 +10,7 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <span>
 #include <vector>
 
 namespace {
@@ -245,6 +246,94 @@ TEST(RngTest, BernoulliProbability) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BoundedParetoStaysInBounds) {
+  Rng rng(61);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.bounded_pareto(2.0, 50.0, 1.3);
+    ASSERT_GE(x, 2.0);
+    ASSERT_LE(x, 50.0);
+  }
+}
+
+TEST(RngTest, BoundedParetoMatchesAnalyticCdf) {
+  // Truncated Pareto: F(x) = (1 − (lo/x)^a) / (1 − (lo/hi)^a). Check the
+  // empirical CDF at a few interior points.
+  const double lo = 1.0, hi = 100.0, alpha = 1.5;
+  Rng rng(67);
+  const int n = 400000;
+  const double points[] = {2.0, 5.0, 20.0};
+  int below[3] = {0, 0, 0};
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.bounded_pareto(lo, hi, alpha);
+    for (int p = 0; p < 3; ++p) below[p] += x <= points[p] ? 1 : 0;
+  }
+  const double denom = 1.0 - std::pow(lo / hi, alpha);
+  for (int p = 0; p < 3; ++p) {
+    const double expect = (1.0 - std::pow(lo / points[p], alpha)) / denom;
+    EXPECT_NEAR(static_cast<double>(below[p]) / n, expect, 0.01)
+        << "x=" << points[p];
+  }
+}
+
+TEST(ZipfSamplerTest, MatchesAnalyticPmf) {
+  // P(rank = k) = (k+1)^{-s} / H_{n,s}; the hot head is where the account
+  // model's contention comes from, so the head probabilities are checked
+  // tightly.
+  const std::size_t n = 100;
+  const double s = 1.1;
+  const mvcom::common::ZipfSampler zipf(n, s);
+  EXPECT_EQ(zipf.size(), n);
+  EXPECT_DOUBLE_EQ(zipf.skew(), s);
+  double harmonic = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    harmonic += 1.0 / std::pow(static_cast<double>(k), s);
+  }
+  Rng rng(71);
+  std::vector<int> counts(n, 0);
+  const int draws = 400000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint32_t k = zipf(rng);
+    ASSERT_LT(k, n);
+    ++counts[k];
+  }
+  for (std::size_t k = 0; k < 5; ++k) {
+    const double expect = 1.0 / std::pow(static_cast<double>(k + 1), s) /
+                          harmonic;
+    EXPECT_NEAR(static_cast<double>(counts[k]) / draws, expect, 0.15 * expect)
+        << "rank " << k;
+  }
+  // Head dominance: rank 0 beats every deep-tail rank.
+  EXPECT_GT(counts[0], counts[n - 1]);
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  const std::size_t n = 16;
+  const mvcom::common::ZipfSampler zipf(n, 0.0);
+  Rng rng(73);
+  std::vector<int> counts(n, 0);
+  const int draws = 160000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf(rng)];
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), draws / static_cast<double>(n),
+                0.05 * draws / static_cast<double>(n));
+  }
+}
+
+TEST(ZipfSamplerTest, FillMatchesSequentialDraws) {
+  // fill() must consume exactly one engine step per variate and produce the
+  // same sequence as repeated operator() — the fill_uniform01 discipline.
+  const mvcom::common::ZipfSampler zipf(1000, 1.2);
+  Rng a(79);
+  Rng b(79);
+  std::vector<std::uint32_t> batch(257);
+  zipf.fill(a, std::span<std::uint32_t>(batch));
+  for (const std::uint32_t v : batch) {
+    ASSERT_EQ(zipf(b), v);
+  }
+  // Both engines are now in the same state.
+  EXPECT_EQ(a(), b());
 }
 
 // Property sweep: the exponential distribution's memorylessness is what

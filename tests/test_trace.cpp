@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/rng.hpp"
+#include "txn/accounts/model.hpp"
 #include "txn/trace_generator.hpp"
 #include "txn/trace_io.hpp"
 #include "txn/workload.hpp"
@@ -127,6 +128,47 @@ TEST(TraceIoTest, MissingFileThrows) {
   EXPECT_THROW(load_trace_csv("/nonexistent/trace.csv"), std::runtime_error);
 }
 
+TEST(TraceIoTest, AccountTxRoundtripPreservesEverything) {
+  mvcom::txn::AccountModelConfig config;
+  config.num_accounts = 2'000;
+  config.num_shards = 8;
+  config.txs_per_epoch = 500;
+  config.cross_shard_ratio = 0.4;
+  const mvcom::txn::AccountTxGenerator gen(config);
+  const auto epoch = gen.epoch_keyed(7, 1);
+  TempDir dir;
+  const auto path = dir.path() / "accounts.csv";
+  mvcom::txn::write_account_txs_csv(epoch.txs, path);
+  const auto loaded = mvcom::txn::load_account_txs_csv(path);
+  ASSERT_EQ(loaded.size(), epoch.txs.size());
+  for (std::size_t i = 0; i < epoch.txs.size(); ++i) {
+    EXPECT_EQ(loaded[i].tx_id, epoch.txs[i].tx_id);
+    EXPECT_EQ(loaded[i].sender, epoch.txs[i].sender);
+    EXPECT_EQ(loaded[i].reads, epoch.txs[i].reads);    // order + content
+    EXPECT_EQ(loaded[i].writes, epoch.txs[i].writes);
+    EXPECT_NEAR(loaded[i].timestamp, epoch.txs[i].timestamp, 1e-3);
+  }
+}
+
+TEST(TraceIoTest, AccountTxEmptySetsSurviveTheRoundtrip) {
+  std::vector<mvcom::txn::AccountTx> txs(2);
+  txs[0].tx_id = 1;
+  txs[0].timestamp = 10.0;
+  txs[0].sender = 42;  // no reads, no writes — both fields empty in the CSV
+  txs[1].tx_id = 2;
+  txs[1].timestamp = 11.0;
+  txs[1].sender = 7;
+  txs[1].writes = {1, 2, 3};
+  TempDir dir;
+  const auto path = dir.path() / "sparse.csv";
+  mvcom::txn::write_account_txs_csv(txs, path);
+  const auto loaded = mvcom::txn::load_account_txs_csv(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_TRUE(loaded[0].reads.empty());
+  EXPECT_TRUE(loaded[0].writes.empty());
+  EXPECT_EQ(loaded[1].writes, (std::vector<std::uint32_t>{1, 2, 3}));
+}
+
 TEST(WorkloadTest, OneBlockModeGivesEachCommitteeOneBlock) {
   Rng rng(8);
   TraceGeneratorConfig tc;
@@ -162,6 +204,72 @@ TEST(WorkloadTest, DealAllModeConservesTotal) {
   const auto workload = gen.epoch(rng);
   EXPECT_EQ(workload.total_txs(), total);
   for (const auto& r : workload.reports) EXPECT_GE(r.tx_count, 1u);
+}
+
+TEST(WorkloadTest, DealAllWithAsManyCommitteesAsBlocksIsAPermutation) {
+  // With |I| == #blocks the first dealing round consumes every block, so
+  // each shard is exactly one block — the shard counts are a permutation of
+  // the block counts.
+  Rng rng(12);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 25;
+  tc.target_total_txs = 25'000;
+  Trace trace = generate_trace(tc, rng);
+  std::multiset<std::uint64_t> block_counts;
+  for (const auto& b : trace.blocks) block_counts.insert(b.tx_count);
+  WorkloadConfig wc;
+  wc.num_committees = 25;
+  wc.fill = ShardFill::kDealAllBlocks;
+  const WorkloadGenerator gen(std::move(trace), wc);
+  const auto workload = gen.epoch(rng);
+  std::multiset<std::uint64_t> shard_counts;
+  for (const auto& r : workload.reports) shard_counts.insert(r.tx_count);
+  EXPECT_EQ(shard_counts, block_counts);
+}
+
+TEST(WorkloadTest, DealAllKeyedEpochsArePureAndDistinct) {
+  Rng rng(13);
+  TraceGeneratorConfig tc;
+  tc.num_blocks = 120;
+  tc.target_total_txs = 120'000;
+  WorkloadConfig wc;
+  wc.num_committees = 12;
+  wc.fill = ShardFill::kDealAllBlocks;
+  const WorkloadGenerator gen(generate_trace(tc, rng), wc);
+  const auto e2 = gen.epoch_keyed(99, 2);
+  (void)gen.epoch_keyed(99, 0);  // unrelated epochs must not perturb a replay
+  const auto replay = gen.epoch_keyed(99, 2);
+  ASSERT_EQ(replay.reports.size(), e2.reports.size());
+  for (std::size_t i = 0; i < e2.reports.size(); ++i) {
+    EXPECT_EQ(replay.reports[i].tx_count, e2.reports[i].tx_count);
+    EXPECT_DOUBLE_EQ(replay.reports[i].formation_latency,
+                     e2.reports[i].formation_latency);
+  }
+  // Different epoch indices re-deal: totals conserve, the split moves.
+  const auto e3 = gen.epoch_keyed(99, 3);
+  EXPECT_EQ(e3.total_txs(), e2.total_txs());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < e2.reports.size(); ++i) {
+    any_diff |= e3.reports[i].tx_count != e2.reports[i].tx_count;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(WorkloadTest, SubmitInstantMatchesInlineLatencySum) {
+  // sample_submit_instant is the single shared sampling site for the
+  // carry-over paths; it must consume exactly one two-phase sample and sum
+  // it onto the window edge left-to-right (bitwise, so digests never move).
+  Rng a(14);
+  Rng b(14);
+  WorkloadConfig wc;
+  const double window_close = 1234.5;
+  for (int i = 0; i < 100; ++i) {
+    const double instant =
+        mvcom::txn::sample_submit_instant(a, wc, window_close);
+    const auto lat = sample_two_phase_latency(b, wc);
+    EXPECT_EQ(instant, window_close + lat.formation + lat.consensus);
+  }
+  EXPECT_EQ(a(), b());  // engines stayed in lockstep
 }
 
 TEST(WorkloadTest, LatencyMarginalsMatchPaperModel) {

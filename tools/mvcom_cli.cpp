@@ -51,7 +51,19 @@
 //       event-stream digest — which must be bit-identical across runs with
 //       the same seed (the CI adversarial-smoke contract).
 //
-// The `schedule` and `chaos` commands accept observability sinks:
+//   mvcom xshard [--accounts N] [--shards N] [--txs N] [--epochs N]
+//                [--skew S] [--ratios 0,0.1,0.3,0.5] [--rounds R]
+//                [--capacity C] [--slack K] [--scheduler greedy|dynamic]
+//                [--seed S] [--txs-out <file.csv>]
+//       Cross-shard ratio sweep (DESIGN.md §15): generate account-model
+//       traffic at each requested cross-shard ratio, run both assembler
+//       arms (conflict-aware vs random-oblivious) through the x-shard
+//       scheduler, and print committed/intra/cross/deferred tallies plus a
+//       per-arm ledger digest — a replay witness that must be bit-identical
+//       across runs with the same seed (the CI xshard-smoke contract).
+//       --txs-out dumps the first epoch's AccountTx trace as CSV.
+//
+// The `schedule`, `chaos`, and `xshard` commands accept observability sinks:
 //   --metrics-out <file.prom>   Prometheus text exposition of every counter,
 //                               gauge, and histogram the run touched.
 //   --trace-out <file.json>     Chrome trace-event JSON (load in Perfetto,
@@ -80,9 +92,11 @@
 #include "obs/trace.hpp"
 #include "pipeline/serve.hpp"
 #include "sharding/elastico.hpp"
+#include "txn/accounts/model.hpp"
 #include "txn/trace_generator.hpp"
 #include "txn/trace_io.hpp"
 #include "txn/workload.hpp"
+#include "txn/xshard/scheduler.hpp"
 
 namespace {
 
@@ -183,10 +197,120 @@ struct ObsSinks {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mvcom <gen-trace|schedule|epoch|bounds|serve|chaos> "
-               "[options]\n"
+               "usage: mvcom <gen-trace|schedule|epoch|bounds|serve|chaos|"
+               "xshard> [options]\n"
                "see the header of tools/mvcom_cli.cpp for details\n");
   return 2;
+}
+
+int cmd_xshard(const Args& args) {
+  mvcom::txn::AccountModelConfig model;
+  model.num_accounts =
+      static_cast<std::uint32_t>(args.get_u64("accounts", 50'000));
+  model.num_shards = static_cast<std::uint32_t>(args.get_u64("shards", 20));
+  model.txs_per_epoch = args.get_u64("txs", 20'000);
+  model.zipf_skew = args.get_f64("skew", model.zipf_skew);
+  mvcom::txn::XShardConfig xc;
+  xc.num_shards = model.num_shards;
+  xc.rounds_per_epoch =
+      static_cast<std::uint32_t>(args.get_u64("rounds", xc.rounds_per_epoch));
+  xc.shard_round_capacity = args.get_u64("capacity", xc.shard_round_capacity);
+  xc.deadline_slack_rounds = static_cast<std::uint32_t>(
+      args.get_u64("slack", xc.deadline_slack_rounds));
+  const auto sched_it = args.flags.find("scheduler");
+  if (sched_it != args.flags.end()) {
+    if (sched_it->second == "greedy") {
+      xc.scheduler = mvcom::txn::SchedulerPolicy::kGreedyColoring;
+    } else if (sched_it->second == "dynamic") {
+      xc.scheduler = mvcom::txn::SchedulerPolicy::kDynamicDeadline;
+    } else {
+      std::fprintf(stderr, "xshard: unknown scheduler '%s'\n",
+                   sched_it->second.c_str());
+      return 2;
+    }
+  }
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const std::size_t epochs = args.get_u64("epochs", 2);
+
+  std::vector<double> ratios = {0.0, 0.1, 0.3, 0.5};
+  if (const auto it = args.flags.find("ratios"); it != args.flags.end()) {
+    ratios.clear();
+    std::string token;
+    for (const char c : it->second + ",") {
+      if (c == ',') {
+        if (!token.empty()) ratios.push_back(std::stod(token));
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    if (ratios.empty()) {
+      std::fprintf(stderr, "xshard: --ratios needs at least one value\n");
+      return 2;
+    }
+  }
+
+  ObsSinks sinks(args);
+  auto obs = sinks.context();
+
+  std::printf("x-shard ratio sweep: %u accounts on %u shards, %llu TXs/epoch "
+              "x %zu epochs, skew %.2f, scheduler %s, R=%u rounds, C=%llu "
+              "legs/shard/round\n",
+              model.num_accounts, model.num_shards,
+              static_cast<unsigned long long>(model.txs_per_epoch), epochs,
+              model.zipf_skew, mvcom::txn::to_string(xc.scheduler),
+              xc.rounds_per_epoch,
+              static_cast<unsigned long long>(xc.shard_round_capacity));
+  constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+  for (const double ratio : ratios) {
+    model.cross_shard_ratio = ratio;
+    const mvcom::txn::AccountTxGenerator generator(model);
+    if (const auto it = args.flags.find("txs-out");
+        it != args.flags.end() && ratio == ratios.front()) {
+      const auto epoch0 = generator.epoch_keyed(seed, 0);
+      mvcom::txn::write_account_txs_csv(epoch0.txs, it->second);
+      std::printf("wrote %zu account TXs to %s\n", epoch0.txs.size(),
+                  it->second.c_str());
+    }
+    for (const auto policy : {mvcom::txn::AssemblerPolicy::kConflictAware,
+                              mvcom::txn::AssemblerPolicy::kRandomOblivious}) {
+      xc.assembler = policy;
+      std::uint64_t committed = 0, intra = 0, cross = 0, deferred = 0;
+      std::uint64_t digest = kFnvBasis;
+      for (std::size_t e = 0; e < epochs; ++e) {
+        const auto epoch = generator.epoch_keyed(seed, e);
+        const auto result = mvcom::txn::run_epoch(epoch, xc, seed);
+        committed += result.outcome.committed_txs;
+        intra += result.outcome.intra_txs;
+        cross += result.outcome.cross_txs;
+        deferred += result.outcome.deferred_txs;
+        digest = (digest ^ result.outcome.ledger_digest) * kFnvPrime;
+      }
+      if (auto* m = obs.metrics()) {
+        const std::string arm = mvcom::txn::to_string(policy);
+        m->counter("mvcom_xshard_txs_total", "TXs by x-shard classification",
+                   {{"class", "intra"}, {"assembler", arm}})
+            .add(intra);
+        m->counter("mvcom_xshard_txs_total", "TXs by x-shard classification",
+                   {{"class", "cross"}, {"assembler", arm}})
+            .add(cross);
+        m->counter("mvcom_xshard_txs_total", "TXs by x-shard classification",
+                   {{"class", "deferred"}, {"assembler", arm}})
+            .add(deferred);
+      }
+      std::printf("  ratio %.2f %-16s committed %8llu (intra %8llu, cross "
+                  "%7llu), deferred %7llu | ledger digest %016llx\n",
+                  ratio, mvcom::txn::to_string(policy),
+                  static_cast<unsigned long long>(committed),
+                  static_cast<unsigned long long>(intra),
+                  static_cast<unsigned long long>(cross),
+                  static_cast<unsigned long long>(deferred),
+                  static_cast<unsigned long long>(digest));
+    }
+  }
+  if (!sinks.flush()) return 1;
+  return 0;
 }
 
 int cmd_gen_trace(const Args& args) {
@@ -399,9 +523,9 @@ int cmd_chaos_adversary(const Args& args, const std::string& strategy_name) {
               "%llu\n",
               result.mean_utility, result.mean_safety,
               static_cast<unsigned long long>(honest_total));
-  const std::uint64_t obs_digest = mvcom::obs::events_digest(
-      obs.trace() != nullptr ? obs.trace()->snapshot()
-                             : std::vector<mvcom::obs::TraceEvent>{});
+  std::vector<mvcom::obs::TraceEvent> trace_events;
+  if (auto* t = obs.trace()) trace_events = t->snapshot();
+  const std::uint64_t obs_digest = mvcom::obs::events_digest(trace_events);
   std::printf("decision digest: %016llx\n",
               static_cast<unsigned long long>(result.decision_digest));
   std::printf("obs events digest: %016llx\n",
@@ -599,6 +723,7 @@ int main(int argc, char** argv) {
     if (command == "bounds") return cmd_bounds(*args);
     if (command == "serve") return cmd_serve(*args);
     if (command == "chaos") return cmd_chaos(*args);
+    if (command == "xshard") return cmd_xshard(*args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mvcom %s: %s\n", command.c_str(), e.what());
     return 1;

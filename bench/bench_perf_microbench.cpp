@@ -18,6 +18,8 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -184,6 +186,49 @@ void BM_SimulatorChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorChurn)->Arg(64)->Arg(4096)->Arg(65536);
 
+// Cohort dispatch: typed-event churn through the batched SoA executor,
+// `range(0)` events per timestamp so every pop drains one cohort. The
+// counterpart of BM_SimulatorChurn for the kernel path (DESIGN.md §16).
+void BM_CohortDispatch(benchmark::State& state) {
+  const auto cohort = static_cast<std::size_t>(state.range(0));
+  mvcom::sim::Simulator sim(
+      mvcom::sim::SimConfig{mvcom::sim::KernelMode::kBatched});
+  static std::uint64_t sink = 0;
+  const auto kernel = sim.register_kernel(
+      [](void*, const mvcom::sim::TypedPayload* c, std::size_t n) {
+        for (std::size_t i = 0; i < n; ++i) sink += c[i].a;
+      },
+      nullptr);
+  double at = 1.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < cohort; ++i) {
+      sim.schedule_typed(SimTime(at), kernel, {i, 0});
+    }
+    state.ResumeTiming();
+    sim.run();
+    at += 1.0;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(cohort));
+}
+BENCHMARK(BM_CohortDispatch)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// Batched exponential sampling — the SIMD-friendly transform behind the
+// PBFT verification delays and the Eq.-(8) timer race.
+void BM_FillExponential(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    rng.fill_exponential(std::span<double>(out), 0.2);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FillExponential)->Arg(4)->Arg(64)->Arg(1024);
+
 void BM_DpSolve(benchmark::State& state) {
   const auto instance = make_instance(static_cast<std::size_t>(state.range(0)));
   mvcom::baselines::DynamicProgramming dp;
@@ -340,6 +385,126 @@ void run_event_churn(mvcom::bench::BenchJson& json) {
   json.set("gate_rate_sim_event_churn", rate);
 }
 
+/// Typed-event throughput through both executors on an identical workload:
+/// steady-state same-timestamp storms (cohort size 64) where every executed
+/// element schedules its replacement one tick later — constant queue depth,
+/// so the measurement is dispatch cost, not heap depth. Gates the batched
+/// path and records the reference interpreter alongside; aborts if the two
+/// order digests ever disagree — a perf run must never certify a rate for a
+/// divergent engine.
+void run_cohort_dispatch(mvcom::bench::BenchJson& json) {
+  constexpr std::size_t kCohort = 64;
+  constexpr std::uint64_t kEvents = 1'000'000;
+  struct Run {
+    double seconds = 0.0;
+    std::uint64_t digest = 0;
+    std::uint64_t executed = 0;
+  };
+  const auto measure = [&](mvcom::sim::KernelMode mode) {
+    struct Ctx {
+      mvcom::sim::Simulator sim;
+      mvcom::sim::KernelId kernel{};
+      std::uint64_t sink = 0;
+      explicit Ctx(mvcom::sim::KernelMode m)
+          : sim(mvcom::sim::SimConfig{m}) {}
+    } ctx(mode);
+    ctx.kernel = ctx.sim.register_kernel(
+        [](void* raw, const mvcom::sim::TypedPayload* c, std::size_t n) {
+          auto* self = static_cast<Ctx*>(raw);
+          const SimTime next = self->sim.now() + SimTime(1.0);
+          for (std::size_t i = 0; i < n; ++i) {
+            self->sink += c[i].a;
+            self->sim.schedule_typed(next, self->kernel, c[i]);
+          }
+        },
+        &ctx);
+    for (std::size_t i = 0; i < kCohort; ++i) {
+      ctx.sim.schedule_typed(SimTime(1.0), ctx.kernel, {i, 0});
+    }
+    ctx.sim.run(kCohort * 16);  // warm-up
+    const auto t0 = std::chrono::steady_clock::now();
+    ctx.sim.run(kEvents);
+    Run run;
+    run.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    run.digest = ctx.sim.order_digest();
+    run.executed = ctx.sim.events_executed();
+    benchmark::DoNotOptimize(ctx.sink);
+    return run;
+  };
+  const Run reference = measure(mvcom::sim::KernelMode::kReference);
+  const Run batched = measure(mvcom::sim::KernelMode::kBatched);
+  if (reference.digest != batched.digest ||
+      reference.executed != batched.executed) {
+    std::fprintf(stderr,
+                 "FATAL: kernel modes diverged in run_cohort_dispatch\n");
+    std::abort();
+  }
+  const double events = static_cast<double>(reference.executed);
+  const double ref_rate = events / reference.seconds;
+  const double bat_rate = events / batched.seconds;
+  std::printf("\n--- cohort dispatch (size %zu storms) ---\n", kCohort);
+  std::printf("  reference: %.0f events/s, batched: %.0f events/s (%.2fx)\n",
+              ref_rate, bat_rate, bat_rate / ref_rate);
+  json.set("sim_cohort_size", static_cast<double>(kCohort));
+  json.set("sim_cohort_reference_rate", ref_rate);
+  json.set("gate_rate_sim_cohort_dispatch", bat_rate);
+}
+
+/// Batched exponential sampling rate — fill_exponential over a 1024-draw
+/// buffer, the shape the PBFT verification-delay kernel uses.
+void run_fill_exponential(mvcom::bench::BenchJson& json) {
+  constexpr std::size_t kBatch = 1024;
+  constexpr std::size_t kReps = 20'000;
+  Rng rng(7);
+  std::vector<double> out(kBatch);
+  double sink = 0.0;
+  for (std::size_t r = 0; r < kReps / 10; ++r) {  // warm-up
+    rng.fill_exponential(std::span<double>(out), 0.2);
+    sink += out.back();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < kReps; ++r) {
+    rng.fill_exponential(std::span<double>(out), 0.2);
+    sink += out.back();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  benchmark::DoNotOptimize(sink);
+  const double rate = static_cast<double>(kBatch * kReps) / seconds;
+  std::printf("\n--- fill_exponential (batch %zu) ---\n", kBatch);
+  std::printf("  %.0f draws/s (%.2f ns/draw)\n", rate, 1e9 / rate);
+  json.set("rng_fill_batch", static_cast<double>(kBatch));
+  json.set("gate_rate_rng_fill_exponential", rate);
+}
+
+/// SE timer-race step rate — the Alg.-3 transition whose inner loop is the
+/// batched Exp(1) race. Its own gate tier (gate_rate_se_steps): the
+/// chain-parallel tiers above cannot see a regression in this path.
+void run_se_timer_race(mvcom::bench::BenchJson& json) {
+  const auto instance = make_instance(200);
+  mvcom::core::SeParams params;
+  params.threads = 1;
+  params.transition = mvcom::core::SeTransition::kTimerRace;
+  constexpr std::size_t kIters = 30'000;
+  params.max_iterations = kIters * 2;
+  params.convergence_window = params.max_iterations;
+  mvcom::core::SeScheduler scheduler(instance, params, 3);
+  scheduler.advance(kIters / 10);  // warm-up
+  const auto t0 = std::chrono::steady_clock::now();
+  scheduler.advance(kIters);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  const double rate = static_cast<double>(kIters) / seconds;
+  std::printf("\n--- SE timer-race step rate (|I|=200) ---\n");
+  std::printf("  %.0f steps/s\n", rate);
+  json.set("se_timer_race_iters", static_cast<double>(kIters));
+  json.set("gate_rate_se_steps", rate);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -352,6 +517,9 @@ int main(int argc, char** argv) {
   run_scale_throughput(json);
   run_pow_rate(json);
   run_event_churn(json);
+  run_cohort_dispatch(json);
+  run_fill_exponential(json);
+  run_se_timer_race(json);
   json.write();
   return 0;
 }

@@ -28,6 +28,23 @@ double Rng::exponential(double mean) noexcept {
   return -mean * std::log1p(-uniform01());
 }
 
+void Rng::fill_exponential(std::span<double> out, double mean) noexcept {
+  assert(mean > 0.0);
+  // Engine phase first (sequential by construction), transform second. The
+  // transform is the same -mean*log1p(-u) expression as exponential(), so
+  // every lane is bitwise identical to the sequential draw; the blocked
+  // shape only exists so the compiler can vectorize log1p across lanes.
+  for (double& v : out) v = uniform01();
+  constexpr std::size_t kWidth = 4;
+  std::size_t i = 0;
+  for (; i + kWidth <= out.size(); i += kWidth) {
+    for (std::size_t lane = 0; lane < kWidth; ++lane) {
+      out[i + lane] = -mean * std::log1p(-out[i + lane]);
+    }
+  }
+  for (; i < out.size(); ++i) out[i] = -mean * std::log1p(-out[i]);
+}
+
 double Rng::normal(double mu, double sigma) noexcept {
   if (has_spare_) {
     has_spare_ = false;

@@ -130,6 +130,17 @@ class Rng {
   /// solve-latency model. Precondition: mean > 0.
   double exponential(double mean) noexcept;
 
+  /// Fills `out` with exponential(mean) draws, consuming exactly out.size()
+  /// engine steps. Batch discipline matches fill_uniform01: the uniforms are
+  /// drawn first in engine order, then the −mean·log1p(−u) transform runs
+  /// over the flat buffer in width-4 blocks plus a scalar tail, so the
+  /// transform loop is free of engine-state dependencies and vectorizes.
+  /// The output is pinned ULP-for-ULP to out.size() sequential
+  /// exponential(mean) calls — every batch length, including the odd tails,
+  /// is property-tested in tests/test_rng.cpp. Used by the Eq.-(8) timer
+  /// race and the batched PBFT verification-delay kernel.
+  void fill_exponential(std::span<double> out, double mean) noexcept;
+
   /// Standard normal variate (Marsaglia polar method, portable).
   double normal(double mu = 0.0, double sigma = 1.0) noexcept;
 

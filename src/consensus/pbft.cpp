@@ -49,10 +49,59 @@ PbftCluster::PbftCluster(sim::Simulator& simulator, net::Network& network,
   if (members_.empty()) {
     throw std::invalid_argument("PbftCluster: need at least one replica");
   }
+  if (members_.size() > 0xffff) {
+    throw std::invalid_argument(
+        "PbftCluster: replica indices must fit the 16-bit payload fields");
+  }
   for (const NodeId m : members_) {
     if (m >= network_.node_count()) {
       throw std::invalid_argument("PbftCluster: member outside the network");
     }
+  }
+  deliver_kernel_ = simulator_.register_kernel(&PbftCluster::deliver_thunk, this);
+  phase_kernel_ = simulator_.register_kernel(&PbftCluster::phase_thunk, this);
+}
+
+void PbftCluster::deliver_thunk(void* ctx, const sim::TypedPayload* cohort,
+                                std::size_t n) {
+  static_cast<PbftCluster*>(ctx)->on_deliver_cohort(cohort, n);
+}
+
+void PbftCluster::phase_thunk(void* ctx, const sim::TypedPayload* cohort,
+                              std::size_t n) {
+  static_cast<PbftCluster*>(ctx)->on_phase_cohort(cohort, n);
+}
+
+void PbftCluster::on_deliver_cohort(const sim::TypedPayload* cohort,
+                                    std::size_t n) {
+  // Network-delivery kernel: filter silent receivers, then draw every
+  // verification delay (signature checks + payload validation, scaled by
+  // the replica's processing speed — the heterogeneous capability of paper
+  // §I) as one batch. Silent receivers draw nothing, so the engine sequence
+  // is exactly the per-event sequence of the reference interpreter; the
+  // phase-advance events are then scheduled in cohort order, preserving the
+  // relative sequence numbers a one-at-a-time execution would assign.
+  live_scratch_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (replicas_[receiver_of(cohort[i])].fault != FaultMode::kSilent) {
+      live_scratch_.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  verify_scratch_.resize(live_scratch_.size());
+  rng_.fill_exponential(verify_scratch_,
+                        config_.verification_mean.seconds());
+  for (std::size_t j = 0; j < live_scratch_.size(); ++j) {
+    const sim::TypedPayload p = cohort[live_scratch_[j]];
+    const SimTime verify = SimTime(
+        replicas_[receiver_of(p)].speed_factor * verify_scratch_[j]);
+    simulator_.schedule_typed_after(verify, phase_kernel_, p);
+  }
+}
+
+void PbftCluster::on_phase_cohort(const sim::TypedPayload* cohort,
+                                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    handle(receiver_of(cohort[i]), message_of(cohort[i]));
   }
 }
 
@@ -81,16 +130,12 @@ void PbftCluster::send(std::size_t from, std::size_t to, Message msg) {
   if (obs::Counter* c = obs_msg_[static_cast<std::size_t>(msg.phase)]) {
     c->inc();
   }
-  network_.send(node_of(from), node_of(to), [this, to, msg] {
-    Replica& receiver = replicas_[to];
-    if (receiver.fault == FaultMode::kSilent) return;
-    // Verification delay: signature checks + payload validation, scaled by
-    // the replica's processing speed (heterogeneous capability).
-    const SimTime verify = SimTime(
-        receiver.speed_factor *
-        rng_.exponential(config_.verification_mean.seconds()));
-    simulator_.schedule_after(verify, [this, to, msg] { handle(to, msg); });
-  });
+  // Every protocol message rides the typed path: network delivery, then a
+  // verification-delay event, then the phase handler — two typed events per
+  // message in both kernel modes (the reference interpreter runs the same
+  // kernels one event at a time).
+  network_.send_event(node_of(from), node_of(to), deliver_kernel_,
+                      encode(to, msg));
 }
 
 void PbftCluster::broadcast(std::size_t from, const Message& msg) {
@@ -107,16 +152,15 @@ void PbftCluster::propose(std::size_t leader) {
     // Send payload A to the first half and payload B to the second half.
     for (std::size_t to = 0; to < replicas_.size(); ++to) {
       if (to == leader) continue;
-      const Digest& d =
-          (to < replicas_.size() / 2) ? payload_ : equivocation_payload_;
+      const std::uint8_t d =
+          (to < replicas_.size() / 2) ? std::uint8_t{0} : std::uint8_t{1};
       send(leader, to, Message{Phase::kPrePrepare, view, d, leader});
     }
     return;
   }
   // Honest leader: pre-prepare own slot, then broadcast.
-  ViewState& vs = rep.views[view];
-  vs.preprepared = payload_;
-  broadcast(leader, Message{Phase::kPrePrepare, view, payload_, leader});
+  view_state(rep, view).preprepared = 0;
+  broadcast(leader, Message{Phase::kPrePrepare, view, 0, leader});
   try_prepare(leader);
 }
 
@@ -134,20 +178,21 @@ void PbftCluster::handle(std::size_t r, const Message& msg) {
 void PbftCluster::on_preprepare(std::size_t r, const Message& msg) {
   Replica& rep = replicas_[r];
   if (msg.view != rep.view || msg.sender != leader_of(msg.view)) return;
-  ViewState& vs = rep.views[msg.view];
-  if (vs.preprepared) return;  // accept only the first pre-prepare per view
-  vs.preprepared = msg.digest;
+  ViewState& vs = view_state(rep, msg.view);
+  if (vs.preprepared >= 0) return;  // accept only the first per view
+  vs.preprepared = static_cast<std::int8_t>(msg.digest_idx);
   try_prepare(r);
 }
 
 void PbftCluster::try_prepare(std::size_t r) {
   Replica& rep = replicas_[r];
-  ViewState& vs = rep.views[rep.view];
-  if (!vs.preprepared || vs.sent_prepare) return;
+  ViewState& vs = view_state(rep, rep.view);
+  if (vs.preprepared < 0 || vs.sent_prepare) return;
   vs.sent_prepare = true;
-  const Message prepare{Phase::kPrepare, rep.view, *vs.preprepared, r};
+  const auto d = static_cast<std::uint8_t>(vs.preprepared);
+  const Message prepare{Phase::kPrepare, rep.view, d, r};
   // A replica's own PREPARE counts toward its quorum.
-  vs.prepares[*vs.preprepared].insert(r);
+  vs.prepares[d].insert(r);
   broadcast(r, prepare);
   try_commit(r);
 }
@@ -155,22 +200,22 @@ void PbftCluster::try_prepare(std::size_t r) {
 void PbftCluster::on_prepare(std::size_t r, const Message& msg) {
   Replica& rep = replicas_[r];
   if (msg.view != rep.view) return;
-  rep.views[msg.view].prepares[msg.digest].insert(msg.sender);
+  view_state(rep, msg.view).prepares[msg.digest_idx].insert(msg.sender);
   try_commit(r);
 }
 
 void PbftCluster::try_commit(std::size_t r) {
   Replica& rep = replicas_[r];
-  ViewState& vs = rep.views[rep.view];
-  if (!vs.preprepared || !vs.sent_prepare || vs.sent_commit) return;
+  ViewState& vs = view_state(rep, rep.view);
+  if (vs.preprepared < 0 || !vs.sent_prepare || vs.sent_commit) return;
   // prepared(): matching pre-prepare plus 2f PREPAREs (own included above,
   // so the threshold here is 2f+1 entries in the set).
-  const auto it = vs.prepares.find(*vs.preprepared);
-  if (it == vs.prepares.end() || it->second.size() < quorum()) return;
+  const auto d = static_cast<std::uint8_t>(vs.preprepared);
+  if (vs.prepares[d].size() < quorum()) return;
   vs.prepared = true;
   vs.sent_commit = true;
-  const Message commit{Phase::kCommit, rep.view, *vs.preprepared, r};
-  vs.commits[*vs.preprepared].insert(r);
+  const Message commit{Phase::kCommit, rep.view, d, r};
+  vs.commits[d].insert(r);
   broadcast(r, commit);
   // Own commit may already complete the quorum in tiny clusters.
   on_commit(r, commit);
@@ -179,13 +224,15 @@ void PbftCluster::try_commit(std::size_t r) {
 void PbftCluster::on_commit(std::size_t r, const Message& msg) {
   Replica& rep = replicas_[r];
   if (rep.committed || msg.view != rep.view) return;
-  ViewState& vs = rep.views[msg.view];
-  vs.commits[msg.digest].insert(msg.sender);
-  if (!vs.prepared || vs.preprepared != msg.digest) return;
-  if (vs.commits[msg.digest].size() < quorum()) return;
+  ViewState& vs = view_state(rep, msg.view);
+  vs.commits[msg.digest_idx].insert(msg.sender);
+  if (!vs.prepared || vs.preprepared != static_cast<std::int8_t>(msg.digest_idx)) {
+    return;
+  }
+  if (vs.commits[msg.digest_idx].size() < quorum()) return;
   // committed-local: prepared plus 2f+1 matching COMMITs.
   rep.committed = true;
-  rep.committed_digest = msg.digest;
+  rep.committed_digest = digest_of(msg.digest_idx);
   rep.commit_time = simulator_.now();
   simulator_.cancel(rep.view_timer);
   note_replica_committed(r);
@@ -194,7 +241,7 @@ void PbftCluster::on_commit(std::size_t r, const Message& msg) {
 void PbftCluster::note_replica_committed(std::size_t r) {
   ++committed_replicas_;
   if (!instance_done_ && committed_replicas_ >= quorum()) {
-    finalize(true, *replicas_[r].views[replicas_[r].view].preprepared);
+    finalize(true, replicas_[r].committed_digest);
   }
 }
 
@@ -247,8 +294,8 @@ void PbftCluster::arm_view_timer(std::size_t r) {
         const std::uint64_t target =
             std::max(self.view + 1, self.view_change_target + 1);
         self.view_change_target = target;
-        self.view_changes[target].insert(r);
-        broadcast(r, Message{Phase::kViewChange, target, payload_, r});
+        view_change_set(self, target).insert(r);
+        broadcast(r, Message{Phase::kViewChange, target, 0, r});
         arm_view_timer(r);  // keep escalating if the next view stalls too
       });
 }
@@ -257,40 +304,43 @@ void PbftCluster::on_view_change(std::size_t r, const Message& msg) {
   Replica& rep = replicas_[r];
   const std::uint64_t target = msg.view;
   if (target <= rep.view) return;
-  rep.view_changes[target].insert(msg.sender);
+  SenderBitset& vc = view_change_set(rep, target);
+  vc.insert(msg.sender);
   // Join rule: f+1 votes for a higher view prove at least one honest
   // replica timed out — join the view change instead of waiting out our
   // own timer (keeps the targets of honest replicas in sync).
   if (!rep.committed && target > rep.view_change_target &&
-      rep.view_changes[target].size() >= max_faulty() + 1) {
+      vc.size() >= max_faulty() + 1) {
     rep.view_change_target = target;
-    rep.view_changes[target].insert(r);
-    broadcast(r, Message{Phase::kViewChange, target, payload_, r});
+    vc.insert(r);
+    broadcast(r, Message{Phase::kViewChange, target, 0, r});
   }
   if (leader_of(target) != r) return;
-  if (rep.view_changes[target].size() < quorum()) return;
+  if (vc.size() < quorum()) return;
   // New leader activates the view and re-proposes.
   ++result_.view_changes;
   if (obs_view_changes_ != nullptr) obs_view_changes_->inc();
-  enter_view(r, target, payload_);
-  broadcast(r, Message{Phase::kNewView, target, payload_, r});
+  enter_view(r, target, 0);
+  broadcast(r, Message{Phase::kNewView, target, 0, r});
   try_prepare(r);
 }
 
 void PbftCluster::on_new_view(std::size_t r, const Message& msg) {
   Replica& rep = replicas_[r];
   if (msg.view <= rep.view || msg.sender != leader_of(msg.view)) return;
-  enter_view(r, msg.view, msg.digest);
+  enter_view(r, msg.view, msg.digest_idx);
   try_prepare(r);
 }
 
 void PbftCluster::enter_view(std::size_t r, std::uint64_t view,
-                             const Digest& digest) {
+                             std::uint8_t digest_idx) {
   Replica& rep = replicas_[r];
   rep.view = view;
   rep.view_change_target = std::max(rep.view_change_target, view);
-  ViewState& vs = rep.views[view];
-  if (!vs.preprepared) vs.preprepared = digest;
+  ViewState& vs = view_state(rep, view);
+  if (vs.preprepared < 0) {
+    vs.preprepared = static_cast<std::int8_t>(digest_idx);
+  }
   arm_view_timer(r);
 }
 

@@ -23,9 +23,6 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
-#include <optional>
-#include <set>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -33,6 +30,7 @@
 #include "crypto/sha256.hpp"
 #include "net/network.hpp"
 #include "obs/context.hpp"
+#include "sim/kernel.hpp"
 #include "sim/simulator.hpp"
 
 namespace mvcom::obs {
@@ -133,29 +131,63 @@ class PbftCluster {
     kNewView,
   };
 
+  /// An instance only ever circulates two digests — the honest payload and
+  /// the equivocation payload — so messages carry a 1-bit interned index
+  /// instead of a 32-byte Digest, and quorum tallies are flat bitsets
+  /// indexed by it. digest_of() recovers the full digest.
   struct Message {
     Phase phase;
     std::uint64_t view;
-    Digest digest;
-    std::size_t sender;  // replica index within the cluster
+    std::uint8_t digest_idx;  // 0 = payload_, 1 = equivocation_payload_
+    std::size_t sender;       // replica index within the cluster
+  };
+
+  /// Flat replica-id set with a running count — replaces
+  /// std::set<std::size_t> on the per-(view, digest) quorum-counting hot
+  /// path. One inline word covers committees up to 64 replicas (every
+  /// configuration in this repo); larger memberships spill into a vector.
+  class SenderBitset {
+   public:
+    /// Returns true when `r` was newly inserted.
+    bool insert(std::size_t r) {
+      std::uint64_t* w = &word0_;
+      if (r >= 64) {
+        const std::size_t idx = r / 64 - 1;
+        if (spill_.size() <= idx) spill_.resize(idx + 1, 0);
+        w = &spill_[idx];
+      }
+      const std::uint64_t bit = std::uint64_t{1} << (r % 64);
+      if ((*w & bit) != 0) return false;
+      *w |= bit;
+      ++count_;
+      return true;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+
+   private:
+    std::uint64_t word0_ = 0;
+    std::vector<std::uint64_t> spill_;
+    std::uint16_t count_ = 0;
   };
 
   /// Per-view protocol bookkeeping of one replica.
   struct ViewState {
-    std::optional<Digest> preprepared;
-    std::map<Digest, std::set<std::size_t>> prepares;
-    std::map<Digest, std::set<std::size_t>> commits;
+    /// Interned index of the digest accepted in this view's pre-prepare;
+    /// -1 while no pre-prepare has been accepted.
+    std::int8_t preprepared = -1;
     bool sent_prepare = false;
     bool sent_commit = false;
     bool prepared = false;
+    std::array<SenderBitset, 2> prepares;  // indexed by digest_idx
+    std::array<SenderBitset, 2> commits;
   };
 
   struct Replica {
     FaultMode fault = FaultMode::kNone;
     double speed_factor = 1.0;
     std::uint64_t view = 0;
-    std::map<std::uint64_t, ViewState> views;
-    std::map<std::uint64_t, std::set<std::size_t>> view_changes;  // target->senders
+    std::vector<ViewState> views;            // indexed by view, grown on use
+    std::vector<SenderBitset> view_changes;  // indexed by target view
     bool committed = false;
     Digest committed_digest{};
     SimTime commit_time = SimTime::infinity();
@@ -176,6 +208,48 @@ class PbftCluster {
   [[nodiscard]] NodeId node_of(std::size_t r) const noexcept {
     return members_[r];
   }
+  [[nodiscard]] const Digest& digest_of(std::uint8_t idx) const noexcept {
+    return idx == 0 ? payload_ : equivocation_payload_;
+  }
+  [[nodiscard]] ViewState& view_state(Replica& rep, std::uint64_t view) {
+    if (rep.views.size() <= view) {
+      rep.views.resize(static_cast<std::size_t>(view) + 1);
+    }
+    return rep.views[static_cast<std::size_t>(view)];
+  }
+  [[nodiscard]] SenderBitset& view_change_set(Replica& rep,
+                                              std::uint64_t target) {
+    if (rep.view_changes.size() <= target) {
+      rep.view_changes.resize(static_cast<std::size_t>(target) + 1);
+    }
+    return rep.view_changes[static_cast<std::size_t>(target)];
+  }
+
+  // Typed-event packing: a message in flight is (receiver, sender, phase,
+  // digest_idx) in word a and the view in word b — 16 bytes against the
+  // 56-byte digest-carrying Message of the callback era.
+  static sim::TypedPayload encode(std::size_t to, const Message& msg) noexcept {
+    return {static_cast<std::uint64_t>(to) |
+                (static_cast<std::uint64_t>(msg.sender) << 16) |
+                (static_cast<std::uint64_t>(msg.phase) << 32) |
+                (static_cast<std::uint64_t>(msg.digest_idx) << 40),
+            msg.view};
+  }
+  static std::size_t receiver_of(sim::TypedPayload p) noexcept {
+    return static_cast<std::size_t>(p.a & 0xffff);
+  }
+  static Message message_of(sim::TypedPayload p) noexcept {
+    return Message{static_cast<Phase>((p.a >> 32) & 0xff), p.b,
+                   static_cast<std::uint8_t>((p.a >> 40) & 0x1),
+                   static_cast<std::size_t>((p.a >> 16) & 0xffff)};
+  }
+
+  static void deliver_thunk(void* ctx, const sim::TypedPayload* cohort,
+                            std::size_t n);
+  static void phase_thunk(void* ctx, const sim::TypedPayload* cohort,
+                          std::size_t n);
+  void on_deliver_cohort(const sim::TypedPayload* cohort, std::size_t n);
+  void on_phase_cohort(const sim::TypedPayload* cohort, std::size_t n);
 
   void send(std::size_t from, std::size_t to, Message msg);
   void broadcast(std::size_t from, const Message& msg);
@@ -187,7 +261,7 @@ class PbftCluster {
   void on_new_view(std::size_t r, const Message& msg);
   void try_prepare(std::size_t r);
   void try_commit(std::size_t r);
-  void enter_view(std::size_t r, std::uint64_t view, const Digest& digest);
+  void enter_view(std::size_t r, std::uint64_t view, std::uint8_t digest_idx);
   void arm_view_timer(std::size_t r);
   void propose(std::size_t leader);
   void note_replica_committed(std::size_t r);
@@ -207,6 +281,14 @@ class PbftCluster {
   SimTime instance_start_ = SimTime::zero();
   sim::EventId horizon_event_{};
   std::function<void(const PbftResult&)> on_decided_;
+
+  // Typed kernels (registered at construction): network delivery schedules
+  // the per-receiver verification delay; phase advance runs the protocol
+  // handler. The cancellable view/horizon timers stay on the callback path.
+  sim::KernelId deliver_kernel_{};
+  sim::KernelId phase_kernel_{};
+  std::vector<std::uint32_t> live_scratch_;  // cohort indices, silent filtered
+  std::vector<double> verify_scratch_;       // batched verification draws
 
   obs::ObsContext obs_;
   // Indexed by static_cast<std::size_t>(Phase).

@@ -3,8 +3,16 @@
 #include <bit>
 #include <cstring>
 
+#include "crypto/sha256_ni.hpp"
+
 namespace mvcom::crypto {
 namespace {
+
+/// Probed once; magic-static so hashing works during static initialization.
+bool use_sha_ni() noexcept {
+  static const bool available = sha_ni_available();
+  return available;
+}
 
 constexpr std::array<std::uint32_t, 64> kRoundConstants = {
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
@@ -30,6 +38,10 @@ Sha256::Sha256() noexcept
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
 void Sha256::process_block(const std::uint8_t* block) noexcept {
+  if (use_sha_ni()) {
+    sha_ni_compress(state_.data(), block, 1);
+    return;
+  }
   std::array<std::uint32_t, 64> w;
   for (int i = 0; i < 16; ++i) {
     w[static_cast<std::size_t>(i)] =
@@ -86,9 +98,15 @@ void Sha256::update(std::span<const std::uint8_t> data) noexcept {
       buffer_len_ = 0;
     }
   }
-  while (offset + 64 <= data.size()) {
-    process_block(data.data() + offset);
-    offset += 64;
+  if (const std::size_t blocks = (data.size() - offset) / 64; blocks > 0) {
+    if (use_sha_ni()) {
+      sha_ni_compress(state_.data(), data.data() + offset, blocks);
+    } else {
+      for (std::size_t b = 0; b < blocks; ++b) {
+        process_block(data.data() + offset + 64 * b);
+      }
+    }
+    offset += 64 * blocks;
   }
   if (offset < data.size()) {
     std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
@@ -102,22 +120,22 @@ void Sha256::update(std::string_view text) noexcept {
 }
 
 Digest Sha256::finalize() noexcept {
-  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length.
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit length —
+  // written straight into the block buffer (update() keeps buffer_len_ < 64,
+  // so the 0x80 byte always fits; at most two block transforms remain).
   const std::uint64_t bits = total_bits_;
-  const std::uint8_t one = 0x80;
-  update(std::span<const std::uint8_t>(&one, 1));
-  total_bits_ -= 8;  // padding bytes don't count toward the message length
-  const std::uint8_t zero = 0x00;
-  while (buffer_len_ != 56) {
-    update(std::span<const std::uint8_t>(&zero, 1));
-    total_bits_ -= 8;
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > 56) {
+    std::memset(buffer_.data() + buffer_len_, 0, 64 - buffer_len_);
+    process_block(buffer_.data());
+    buffer_len_ = 0;
   }
-  std::array<std::uint8_t, 8> len;
+  std::memset(buffer_.data() + buffer_len_, 0, 56 - buffer_len_);
   for (int i = 0; i < 8; ++i) {
-    len[static_cast<std::size_t>(i)] =
+    buffer_[static_cast<std::size_t>(56 + i)] =
         static_cast<std::uint8_t>(bits >> (56 - 8 * i));
   }
-  update(len);
+  process_block(buffer_.data());
 
   Digest out;
   for (std::size_t i = 0; i < 8; ++i) {

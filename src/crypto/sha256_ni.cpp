@@ -1,0 +1,151 @@
+// SHA-NI compression function — the x86 SHA extension computes the SHA-256
+// round function in hardware (sha256rnds2 retires two rounds per
+// instruction). This translation unit is the only one compiled with -msha;
+// callers reach it through sha_ni_compress after checking sha_ni_available()
+// once, so the binary still runs on CPUs without the extension. Output is
+// bit-identical to the portable block function in sha256.cpp — SHA-256 is
+// SHA-256 — which the differential test in test_crypto pins across paths.
+
+#include "crypto/sha256_ni.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+
+namespace mvcom::crypto {
+
+bool sha_ni_available() noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("sha") != 0;
+#else
+  return false;
+#endif
+}
+
+// Canonical SHA-NI schedule: state is carried in the ABEF/CDGH register
+// pairing the sha256rnds2 instruction expects.
+void sha_ni_compress(std::uint32_t* state, const std::uint8_t* data,
+                     std::size_t blocks) noexcept {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+  static const std::uint32_t kRound[64] = {
+      0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+      0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+      0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+      0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+      0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+      0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+      0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+      0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+      0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+      0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+      0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+  const auto* k = reinterpret_cast<const __m128i*>(kRound);
+
+  // Repack {a..h} into ABEF / CDGH.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);        // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);  // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);    // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);         // CDGH
+
+  while (blocks-- > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    const auto* block = reinterpret_cast<const __m128i*>(data);
+
+    __m128i msg0 = _mm_shuffle_epi8(_mm_loadu_si128(block + 0), kShuffle);
+    __m128i msg1 = _mm_shuffle_epi8(_mm_loadu_si128(block + 1), kShuffle);
+    __m128i msg2 = _mm_shuffle_epi8(_mm_loadu_si128(block + 2), kShuffle);
+    __m128i msg3 = _mm_shuffle_epi8(_mm_loadu_si128(block + 3), kShuffle);
+
+    __m128i msg;
+    // Rounds 0-15: raw message words.
+    msg = _mm_add_epi32(msg0, _mm_loadu_si128(k + 0));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    msg = _mm_add_epi32(msg1, _mm_loadu_si128(k + 1));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    msg = _mm_add_epi32(msg2, _mm_loadu_si128(k + 2));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    msg = _mm_add_epi32(msg3, _mm_loadu_si128(k + 3));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+    // Rounds 16-63: four schedule/round quads per 16 rounds.
+    for (int quad = 1; quad < 4; ++quad) {
+      msg = _mm_add_epi32(msg0, _mm_loadu_si128(k + 4 * quad + 0));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg1 = _mm_add_epi32(msg1, _mm_alignr_epi8(msg0, msg3, 4));
+      msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+      msg = _mm_add_epi32(msg1, _mm_loadu_si128(k + 4 * quad + 1));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg2 = _mm_add_epi32(msg2, _mm_alignr_epi8(msg1, msg0, 4));
+      msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+      msg = _mm_add_epi32(msg2, _mm_loadu_si128(k + 4 * quad + 2));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg3 = _mm_add_epi32(msg3, _mm_alignr_epi8(msg2, msg1, 4));
+      msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+      msg = _mm_add_epi32(msg3, _mm_loadu_si128(k + 4 * quad + 3));
+      state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+      msg0 = _mm_add_epi32(msg0, _mm_alignr_epi8(msg3, msg2, 4));
+      msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+      msg = _mm_shuffle_epi32(msg, 0x0E);
+      state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+      msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+    }
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+  }
+
+  // Repack ABEF / CDGH back into {a..h}.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);    // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+}  // namespace mvcom::crypto
+
+#else  // non-x86 targets: the portable block function is the only path
+
+namespace mvcom::crypto {
+
+bool sha_ni_available() noexcept { return false; }
+
+void sha_ni_compress(std::uint32_t*, const std::uint8_t*,
+                     std::size_t) noexcept {}
+
+}  // namespace mvcom::crypto
+
+#endif

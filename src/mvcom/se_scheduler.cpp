@@ -308,20 +308,25 @@ void SeExplorer::step_timer_race() {
     obs_tally_.timer_draws += cand_slot_.size();
   }
 
-  // Pass 2 (pure math): one batched uniform fill, then the race
+  // Pass 2 (pure math): one batched Exp(1) fill, then the race
   //   log T = τ − ½β(U_{f'} − U_f) − ln(|I| − n) + ln(Exp(1) draw)
-  // over the flat candidate arrays. The Exp(1) draw goes through
-  // detail::log_unit_exponential, which clamps the uniform into (0,1): a raw
-  // u == 0 would yield log T = −∞ and win the race regardless of β·ΔU. With
-  // the engine state out of the loop the transform + argmin vectorizes.
+  // over the flat candidate arrays. fill_exponential draws the uniforms and
+  // applies −log1p(−u) in vectorizable blocks; the max(·, DBL_MIN) clamp
+  // below is the same guard detail::log_unit_exponential applies before its
+  // log — a raw u == 0 would yield log T = −∞ and win the race regardless
+  // of β·ΔU. (For every uniform01() output the two formulations are bitwise
+  // equal: u ≥ 2⁻⁵³ makes both clamps no-ops, and at u = 0 log1p(−DBL_MIN)
+  // rounds to −DBL_MIN exactly — pinned in test_rng.) With the engine state
+  // out of the loop the transform + argmin vectorizes.
   cand_u_.resize(cand_slot_.size());
-  rng_.fill_uniform01(cand_u_);
+  rng_.fill_exponential(cand_u_, 1.0);
   std::size_t win = 0;
   double win_log_timer = kInf;
   for (std::size_t c = 0; c < cand_slot_.size(); ++c) {
-    const double log_timer = tau - 0.5 * beta * cand_delta_[c] -
-                             layout_->log_remaining[cand_slot_[c]] +
-                             detail::log_unit_exponential(cand_u_[c]);
+    const double log_timer =
+        tau - 0.5 * beta * cand_delta_[c] -
+        layout_->log_remaining[cand_slot_[c]] +
+        std::log(std::max(cand_u_[c], std::numeric_limits<double>::min()));
     if (log_timer < win_log_timer) {
       win_log_timer = log_timer;
       win = c;

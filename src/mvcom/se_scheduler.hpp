@@ -308,7 +308,7 @@ class SeExplorer {
   std::vector<std::uint32_t> cand_in_;
   std::vector<std::uint64_t> cand_txs_;
   std::vector<double> cand_delta_;
-  std::vector<double> cand_u_;                // batched uniform draws
+  std::vector<double> cand_u_;                // batched Exp(1) timer draws
 
   friend class SeScheduler;
 };

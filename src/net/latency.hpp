@@ -3,6 +3,7 @@
 // connections; the simulator expresses that heterogeneity as per-link delay
 // distributions plus per-node slowdown factors.
 
+#include <cmath>
 #include <memory>
 
 #include "common/rng.hpp"
@@ -64,19 +65,30 @@ class ExponentialLatency final : public LatencyModel {
 };
 
 /// Log-normal delay (heavy right tail — the usual WAN shape) parameterized
-/// by its own mean and standard deviation.
+/// by its own mean and standard deviation. The underlying normal parameters
+/// are solved once at construction — the same arithmetic (and therefore the
+/// same doubles) as Rng::lognormal_mean_sd recomputing them per draw, but a
+/// sample on the hot PBFT message path is just exp(normal(mu, sigma)).
 class LognormalLatency final : public LatencyModel {
  public:
   LognormalLatency(SimTime mean_delay, SimTime sd) noexcept
-      : mean_(mean_delay), sd_(sd) {}
+      : mean_(mean_delay), sd_(sd) {
+    const double m = mean_delay.seconds();
+    const double variance = sd.seconds() * sd.seconds();
+    const double sigma2 = std::log1p(variance / (m * m));
+    mu_ = std::log(m) - 0.5 * sigma2;
+    sigma_ = std::sqrt(sigma2);
+  }
   [[nodiscard]] SimTime sample(Rng& rng) const override {
-    return SimTime(rng.lognormal_mean_sd(mean_.seconds(), sd_.seconds()));
+    return SimTime(std::exp(rng.normal(mu_, sigma_)));
   }
   [[nodiscard]] SimTime mean() const noexcept override { return mean_; }
 
  private:
   SimTime mean_;
   SimTime sd_;
+  double mu_ = 0.0;
+  double sigma_ = 0.0;
 };
 
 }  // namespace mvcom::net

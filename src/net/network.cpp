@@ -61,7 +61,8 @@ void Network::set_failed(NodeId node, bool failed) {
 bool Network::is_failed(NodeId node) const { return failed_.at(node); }
 
 SimTime Network::sample_delay(NodeId from, NodeId to) {
-  const double scale = factors_.at(from) * factors_.at(to);
+  assert(from < factors_.size() && to < factors_.size());
+  const double scale = factors_[from] * factors_[to];
   return SimTime(scale * link_model_->sample(rng_).seconds());
 }
 
@@ -83,7 +84,8 @@ Network::SendPlan Network::plan_send(NodeId from, NodeId to) {
     }
     return SendPlan{false, SimTime::zero()};
   };
-  if (failed_.at(from) || failed_.at(to)) {
+  assert(from < failed_.size() && to < failed_.size());
+  if (failed_[from] || failed_[to]) {
     return dropped(obs_dropped_failed_, "net/drop_endpoint_failed");
   }
   if (loss_ > 0.0 && rng_.bernoulli(loss_)) {
@@ -125,7 +127,8 @@ SimTime Network::ping_rtt(NodeId from, NodeId to) {
     }
     return rtt;
   };
-  if (failed_.at(from) || failed_.at(to)) {
+  assert(from < failed_.size() && to < failed_.size());
+  if (failed_[from] || failed_[to]) {
     return traced(SimTime::infinity());
   }
   return traced(sample_delay(from, to) + sample_delay(to, from));

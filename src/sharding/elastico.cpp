@@ -200,7 +200,7 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
       std::vector<SimTime> ready;
       ready.reserve(take);
       for (std::size_t r = 0; r < take; ++r) ready.push_back(assignment[c][r].at);
-      sim::Simulator overlay_sim;
+      sim::Simulator overlay_sim(sim::SimConfig{config_.kernel_mode});
       overlay_sim.set_obs(obs_);
       net::Network overlay_net(overlay_sim, streams[c].overlay, link,
                                config_.num_nodes);
@@ -231,7 +231,7 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
       CommitteeOutcome& co = outcome.committees[c];
       co.formation_latency = formation[c];
 
-      sim::Simulator lane_sim;
+      sim::Simulator lane_sim(sim::SimConfig{config_.kernel_mode});
       lane_sim.set_obs(obs_);
       net::Network lane_net(lane_sim, streams[c].net, link, config_.num_nodes);
       lane_net.set_obs(obs_);
@@ -321,7 +321,7 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
     // The final committee runs on its own fresh fabric with the substreams
     // pre-forked for it above, so its numbers are identical whether the
     // member lanes ran serially or on a pool.
-    sim::Simulator final_sim;
+    sim::Simulator final_sim(sim::SimConfig{config_.kernel_mode});
     final_sim.set_obs(obs_);
     net::Network final_net(final_sim, streams[final_id].net, link,
                            config_.num_nodes);
@@ -377,7 +377,7 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
   std::string beacon_entropy;
   if (config_.beacon_randomness &&
       participants[final_id].size() >= kMinBftMembers) {
-    sim::Simulator beacon_sim;
+    sim::Simulator beacon_sim(sim::SimConfig{config_.kernel_mode});
     net::Network beacon_net(beacon_sim, rng_.fork(), link, config_.num_nodes);
     const BeaconResult beacon = run_commit_reveal_beacon(
         beacon_sim, beacon_net, rng_, participants[final_id],

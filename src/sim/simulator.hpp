@@ -12,17 +12,26 @@
 // on a worker pool (see sharding/elastico and DESIGN.md §12).
 //
 // Hot-path design (this engine fires tens of millions of events per epoch
-// at the large scale tiers):
-//  * Events live in a slab of generation-stamped slots recycled through a
-//    free list — no per-event heap allocation once the slab is warm, and
-//    cancel() is O(1): bump the slot's generation and the stale heap entry
-//    is skipped when it surfaces (lazy deletion, no hash sets).
-//  * Callbacks are stored inline in the slot (small-buffer, type-erased);
+// at the large scale tiers). Events come in two kinds, not one callback per
+// event as in early revisions:
+//  * Callback events live in a slab of generation-stamped slots recycled
+//    through a free list — no per-event heap allocation once the slab is
+//    warm, and cancel() is O(1): bump the slot's generation and the stale
+//    heap entry is skipped when it surfaces (lazy deletion, no hash sets).
+//    Callbacks are stored inline in the slot (small-buffer, type-erased);
 //    only captures larger than EventCallback::kInlineCapacity fall back to
 //    a single heap allocation.
+//  * Typed events (sim/kernel.hpp) carry a 16-byte payload and a kernel id.
+//    Under SimConfig::kernel_mode == kBatched the payloads live in a flat
+//    recycled arena and ready events are dispatched to their kernel a whole
+//    cohort — maximal run of equal (timestamp, kernel) — at a time, SoA
+//    style; under kReference they are interpreted one at a time through the
+//    slab, which is the semantics the batched mode must reproduce bitwise.
 //  * The pending set is a 4-ary implicit heap — shallower than a binary
 //    heap and with four children per cache line of entries, it does fewer
-//    cache-missing levels per push/pop on large queues.
+//    cache-missing levels per push/pop on large queues. Both executors pop
+//    from the same heap, so the (timestamp, sequence) execution order — and
+//    the FNV-1a order_digest folded over it — is identical across modes.
 
 #include <cassert>
 #include <cstddef>
@@ -36,6 +45,7 @@
 
 #include "common/sim_time.hpp"
 #include "obs/context.hpp"
+#include "sim/kernel.hpp"
 
 namespace mvcom::obs {
 class Counter;
@@ -131,9 +141,31 @@ class Simulator {
   /// std::function, so small captures stay allocation-free.
   using Callback = std::function<void()>;
 
-  Simulator() = default;
+  explicit Simulator(SimConfig config = {}) noexcept : config_(config) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] KernelMode kernel_mode() const noexcept {
+    return config_.kernel_mode;
+  }
+
+  /// Registers a typed-event kernel (sim/kernel.hpp). Kernels are expected
+  /// to be registered up front, one per event type a component emits; the
+  /// returned id is dense and valid for this simulator's lifetime.
+  KernelId register_kernel(KernelFn fn, void* ctx);
+
+  /// Schedules one typed event. Typed events cannot be cancelled — use the
+  /// callback path for disarmable timers. Under kReference the event fires
+  /// as a cohort of one through the slab; under kBatched it is dispatched
+  /// with every other ready event of the same (timestamp, kernel).
+  /// Precondition: at >= now(), kernel was returned by register_kernel.
+  void schedule_typed(SimTime at, KernelId kernel, TypedPayload payload);
+
+  /// schedule_typed relative to the current time.
+  void schedule_typed_after(SimTime delay, KernelId kernel,
+                            TypedPayload payload) {
+    schedule_typed(now() + delay, kernel, payload);
+  }
 
   /// Schedules `f` to run at absolute simulated time `at`.
   /// Precondition: at >= now() (the past is immutable).
@@ -195,13 +227,23 @@ class Simulator {
   };
 
   /// One pending-queue entry. `seq` is the global schedule order — the
-  /// FIFO tie-break among equal timestamps; (slot, gen) is validated
-  /// against the slab on pop, which is how O(1) cancel works.
+  /// FIFO tie-break among equal timestamps. For slab events (slot's top bit
+  /// clear) (slot, gen) is validated against the slab on pop, which is how
+  /// O(1) cancel works. For batched typed events the top bit of `slot` is
+  /// set, the low bits index the payload arena, and `gen` holds the kernel
+  /// id — typed events are never cancellable, so no generation is needed.
   struct HeapEntry {
     SimTime at;
     std::uint64_t seq;
     std::uint32_t slot;
     std::uint32_t gen;
+  };
+
+  static constexpr std::uint32_t kTypedBit = 0x80000000u;
+
+  struct Kernel {
+    KernelFn fn;
+    void* ctx;
   };
 
   static constexpr std::size_t kChunkShift = 6;  // 64 slots per chunk
@@ -231,6 +273,16 @@ class Simulator {
 
   bool fire_next();  // pops and executes one event; false if queue empty
 
+  /// Drops stale slab tombstones (cancelled events) from the heap head so
+  /// the peeked entry is live. Typed entries are always live.
+  void skip_stale_head() noexcept;
+
+  /// The cohort executor (kernel_mode == kBatched). Fires up to `limit`
+  /// events; when `horizon` is non-null only events with at <= *horizon
+  /// fire. Returns the number of events executed.
+  std::size_t run_batched(std::size_t limit, const SimTime* horizon);
+
+  SimConfig config_{};
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::vector<std::uint32_t> free_;   // recycled slot indices (LIFO)
   std::vector<HeapEntry> heap_;       // 4-ary implicit min-heap
@@ -239,6 +291,15 @@ class Simulator {
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
   std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+
+  // Typed-event machinery. `typed_pool_` is the payload arena: a flat array
+  // recycled through `typed_free_`, sized to the peak number of in-flight
+  // typed events (per-epoch lane simulators give it an arena-per-epoch
+  // lifetime). `cohort_` is the gather scratch handed to kernels.
+  std::vector<Kernel> kernels_;
+  std::vector<TypedPayload> typed_pool_;
+  std::vector<std::uint32_t> typed_free_;
+  std::vector<TypedPayload> cohort_;
 
   obs::Counter* obs_scheduled_ = nullptr;
   obs::Counter* obs_executed_ = nullptr;

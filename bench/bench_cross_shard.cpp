@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fnv.hpp"
 #include "bench_util.hpp"
 #include "txn/accounts/model.hpp"
 #include "txn/xshard/scheduler.hpp"
@@ -57,7 +58,7 @@ ArmResult run_arm(const AccountTxGenerator& generator, XShardConfig config,
   config.assembler = policy;
   config.scheduler = scheduler;
   ArmResult arm;
-  arm.digest = 0xcbf29ce484222325ULL;
+  arm.digest = mvcom::common::kFnv1aBasis;
   for (std::size_t e = 0; e < kEpochs; ++e) {
     const auto epoch = generator.epoch_keyed(kSeed, e);
     const auto result = mvcom::txn::run_epoch(epoch, config, kSeed);
@@ -65,8 +66,7 @@ ArmResult run_arm(const AccountTxGenerator& generator, XShardConfig config,
     arm.intra += result.outcome.intra_txs;
     arm.cross += result.outcome.cross_txs;
     arm.deferred += result.outcome.deferred_txs;
-    arm.digest = (arm.digest ^ result.outcome.ledger_digest) *
-                 0x100000001b3ULL;
+    arm.digest = mvcom::common::fnv1a_mix(arm.digest, result.outcome.ledger_digest);
     arm.txs_processed += epoch.txs.size();
   }
   return arm;

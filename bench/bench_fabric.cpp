@@ -1,0 +1,231 @@
+// bench_fabric — throughput of the multi-process shard fabric (DESIGN.md
+// §17) against the in-process lane pool it replaces, plus the wire format's
+// raw encode/decode rates.
+//
+// Three tiers:
+//   wire    — encode/decode a representative epoch TaskBatch in a tight
+//             loop; MB/s is the framing overhead ceiling (zero-copy decode,
+//             arena-reused encode buffer).
+//   epochs  — identical Elastico epochs on (a) the serial in-process path,
+//             (b) the in-process thread pool, (c) a 2-process fabric; each
+//             reports epochs/sec, and the fabric's digests are diffed
+//             bitwise against the serial reference (FAIL on divergence).
+//   replay  — the fabric with one SIGKILL injected mid-run: wall clock of
+//             the crash-detect + re-fork + replay path, digests still diffed.
+//
+// Like every process-parallel bench here, the fabric's speedup over serial
+// is only observable with >= 2 free cores; the PASS/FAIL verdict is
+// core-count-aware and the perf gate keys (gate_rate_fabric_*) track
+// absolute rates, not speedups.
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/wire.hpp"
+#include "sharding/elastico.hpp"
+#include "txn/trace_generator.hpp"
+
+namespace {
+
+using mvcom::common::Rng;
+using mvcom::common::SimTime;
+using mvcom::sharding::ElasticoConfig;
+using mvcom::sharding::ElasticoNetwork;
+using mvcom::sharding::EpochOutcome;
+
+double secs_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+ElasticoConfig bench_config() {
+  ElasticoConfig config;
+  config.num_nodes = 128;
+  config.committee_size = 6;
+  config.committee_bits = 3;
+  config.link_latency_mean = SimTime(1.0);
+  config.pbft.verification_mean = SimTime(0.2);
+  config.pbft.view_change_timeout = SimTime(120.0);
+  return config;
+}
+
+mvcom::txn::Trace bench_trace() {
+  Rng rng(7);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = 96;
+  tc.target_total_txs = 96'000;
+  return mvcom::txn::generate_trace(tc, rng);
+}
+
+bool digests_equal(const std::vector<EpochOutcome>& a,
+                   const std::vector<EpochOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t e = 0; e < a.size(); ++e) {
+    if (a[e].event_order_digest != b[e].event_order_digest ||
+        a[e].events_executed != b[e].events_executed ||
+        a[e].next_epoch_randomness != b[e].next_epoch_randomness ||
+        std::bit_cast<std::uint64_t>(a[e].epoch_makespan.seconds()) !=
+            std::bit_cast<std::uint64_t>(b[e].epoch_makespan.seconds())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<EpochOutcome> run_epochs(const ElasticoConfig& config,
+                                     std::size_t epochs,
+                                     const mvcom::txn::Trace& trace,
+                                     mvcom::fabric::ProcessFabric* fleet,
+                                     double* seconds) {
+  ElasticoNetwork network(config, Rng(4242));
+  if (fleet != nullptr) network.set_lane_executor(fleet->executor());
+  std::vector<EpochOutcome> out;
+  out.reserve(epochs);
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t e = 0; e < epochs; ++e) {
+    out.push_back(network.run_epoch(trace));
+  }
+  *seconds = secs_since(start);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  mvcom::bench::BenchJson json("fabric");
+  const unsigned cores = std::thread::hardware_concurrency();
+  mvcom::bench::print_header(
+      "Fabric", "multi-process shard fabric vs in-process lanes");
+  std::printf("  hardware threads available: %u\n", cores);
+
+  // --- wire tier ----------------------------------------------------------
+  {
+    // A representative epoch batch: 8 committees of 6 with full payloads.
+    mvcom::fabric::TaskBatch batch;
+    batch.epoch = 1;
+    for (std::uint32_t c = 0; c < 8; ++c) {
+      mvcom::sharding::LaneTask task;
+      task.committee_id = c;
+      task.member_committees = 7;
+      task.armed = true;
+      task.num_nodes = 128;
+      task.randomness = "0123456789abcdef0123456789abcdef";
+      task.participants = {1, 2, 3, 4, 5, 6};
+      task.verify_speeds = {1.0, 0.9, 1.1, 1.0, 0.95, 1.05};
+      task.failed = {0, 0, 0, 0, 0, 0};
+      task.net_seed = 0x1111111111111111ULL * (c + 1);
+      task.cluster_seed = 0x2222222222222222ULL * (c + 1);
+      batch.tasks.push_back(task);
+    }
+    std::vector<std::uint8_t> payload;
+    constexpr std::size_t kReps = 20'000;
+    const auto enc_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kReps; ++i) {
+      payload.clear();  // arena reuse, like the worker loop
+      mvcom::fabric::encode_task_batch(payload, batch);
+    }
+    const double enc_seconds = secs_since(enc_start);
+    mvcom::fabric::TaskBatch decoded;
+    const auto dec_start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kReps; ++i) {
+      if (!mvcom::fabric::decode_task_batch(payload, decoded)) return 1;
+    }
+    const double dec_seconds = secs_since(dec_start);
+    const double batch_mb =
+        static_cast<double>(payload.size()) / (1024.0 * 1024.0);
+    const double enc_rate = batch_mb * kReps / enc_seconds;
+    const double dec_rate = batch_mb * kReps / dec_seconds;
+    std::printf("  wire: batch %zu B, encode %.0f MB/s, decode %.0f MB/s\n",
+                payload.size(), enc_rate, dec_rate);
+    json.set("wire_batch_bytes", static_cast<double>(payload.size()));
+    json.set("gate_rate_fabric_wire_encode_mb_per_sec", enc_rate);
+    json.set("gate_rate_fabric_wire_decode_mb_per_sec", dec_rate);
+  }
+
+  // --- epoch tier ---------------------------------------------------------
+  const auto trace = bench_trace();
+  const ElasticoConfig config = bench_config();
+  // Enough epochs that the per-arm wall clock is measurable (hundreds of
+  // ms), so the gate rates average out scheduler noise on small CI boxes.
+  constexpr std::size_t kEpochs = 400;
+
+  double serial_seconds = 0.0;
+  const auto serial =
+      run_epochs(config, kEpochs, trace, nullptr, &serial_seconds);
+
+  ElasticoConfig pooled_config = config;
+  pooled_config.lane_workers = 2;
+  double pooled_seconds = 0.0;
+  const auto pooled =
+      run_epochs(pooled_config, kEpochs, trace, nullptr, &pooled_seconds);
+
+  double fabric_seconds = 0.0;
+  std::vector<EpochOutcome> fabric;
+  {
+    mvcom::fabric::FabricConfig fabric_cfg;
+    fabric_cfg.workers = 2;
+    mvcom::fabric::ProcessFabric fleet(fabric_cfg);
+    fabric = run_epochs(config, kEpochs, trace, &fleet, &fabric_seconds);
+  }
+
+  const double serial_rate = kEpochs / serial_seconds;
+  const double pooled_rate = kEpochs / pooled_seconds;
+  const double fabric_rate = kEpochs / fabric_seconds;
+  const bool identical =
+      digests_equal(serial, pooled) && digests_equal(serial, fabric);
+  std::printf("  serial    : %.3fs (%.2f epochs/s)\n", serial_seconds,
+              serial_rate);
+  std::printf("  pool x2   : %.3fs (%.2f epochs/s)\n", pooled_seconds,
+              pooled_rate);
+  std::printf("  fabric x2 : %.3fs (%.2f epochs/s, %.2fx vs serial)\n",
+              fabric_seconds, fabric_rate, fabric_rate / serial_rate);
+  std::printf("  determinism: digests %s\n",
+              identical ? "identical (PASS)" : "DIVERGED (FAIL)");
+  if (cores >= 2) {
+    std::printf("  fabric speedup target (>= 0.9x at 2 workers, %u cores): "
+                "%.2fx %s\n",
+                cores, fabric_rate / serial_rate,
+                fabric_rate / serial_rate >= 0.9 ? "PASS" : "FAIL");
+  } else {
+    std::printf("  fabric speedup target skipped: only %u hardware threads "
+                "(2 worker processes share one core; the rate below still "
+                "gates regressions)\n",
+                cores);
+  }
+  json.set("epochs", static_cast<double>(kEpochs));
+  json.set("serial_epochs_per_sec", serial_rate);
+  json.set("pool2_epochs_per_sec", pooled_rate);
+  json.set("digests_identical", identical ? 1.0 : 0.0);
+  json.set("hardware_threads", static_cast<double>(cores));
+  json.set("gate_rate_fabric_epochs_per_sec", fabric_rate);
+
+  // --- replay tier --------------------------------------------------------
+  double replay_seconds = 0.0;
+  std::vector<EpochOutcome> replayed;
+  std::uint64_t respawns = 0;
+  {
+    mvcom::fabric::FabricConfig fabric_cfg;
+    fabric_cfg.workers = 2;
+    mvcom::fabric::ProcessFabric fleet(fabric_cfg);
+    fleet.inject_kill(0, kEpochs / 2);
+    replayed = run_epochs(config, kEpochs, trace, &fleet, &replay_seconds);
+    respawns = fleet.respawns();
+  }
+  const bool replay_identical = digests_equal(serial, replayed);
+  std::printf("  kill-replay: %.3fs (%llu respawns), digests %s\n",
+              replay_seconds, static_cast<unsigned long long>(respawns),
+              replay_identical ? "identical (PASS)" : "DIVERGED (FAIL)");
+  json.set("replay_respawns", static_cast<double>(respawns));
+  json.set("replay_digests_identical", replay_identical ? 1.0 : 0.0);
+  json.set("gate_rate_fabric_replay_epochs_per_sec",
+           kEpochs / replay_seconds);
+
+  json.write();
+  return identical && replay_identical ? 0 : 1;
+}

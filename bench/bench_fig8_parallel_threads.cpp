@@ -107,6 +107,28 @@ int main() {
         "%.0f explorer-iters/s, speedup vs Gamma=1: %.2fx\n",
         gamma, serial.seconds, parallel.seconds, iter_rate, chain_rate,
         chain_rate / baseline_chain_rate);
+
+    // Core-count-aware verdict (same discipline as the Fig. 2 DES tier): a
+    // Γ-thread pool can only beat the serial path when the host actually
+    // has Γ cores to run it on. On a 1-core CI box the parallel path IS
+    // slower — pool handoff with nothing to overlap — and printing that
+    // bare number reads like a regression when it's the expected shape.
+    const unsigned cores = std::thread::hardware_concurrency();
+    const double pool_speedup = serial.seconds / parallel.seconds;
+    json.set(tag + "_pool_speedup", pool_speedup);
+    if (gamma == 1) {
+      // Γ=1 has nothing to overlap anywhere; no verdict to render.
+    } else if (cores >= gamma) {
+      std::printf("  pool speedup target (>= 1x at Gamma=%zu, %u cores): "
+                  "%.2fx %s\n",
+                  gamma, cores, pool_speedup,
+                  pool_speedup >= 1.0 ? "PASS" : "FAIL");
+    } else {
+      std::printf("  pool speedup target skipped at Gamma=%zu: only %u "
+                  "hardware threads (need >= %zu; serial-vs-parallel here "
+                  "measures pool overhead, not speedup)\n",
+                  gamma, cores, gamma);
+    }
   }
   std::printf("  (expected shape: higher Γ converges faster/higher; benefit "
               "saturates near Γ=10; explorer-iters/s scales with min(Γ, "

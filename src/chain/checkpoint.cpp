@@ -7,20 +7,17 @@
 #include <string>
 #include <vector>
 
+#include "common/fnv.hpp"
 #include "crypto/sha256.hpp"
 
 namespace mvcom::chain {
 
 namespace {
 
-constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr std::uint64_t kFnvBasis = common::kFnv1aBasis;
 
 std::uint64_t fnv1a(std::uint64_t h, std::string_view bytes) noexcept {
-  for (const char c : bytes) {
-    h = (h ^ static_cast<unsigned char>(c)) * kFnvPrime;
-  }
-  return h;
+  return common::fnv1a_bytes(h, bytes);
 }
 
 /// Percent-escapes whitespace and '%' so free-form strings (proposer,

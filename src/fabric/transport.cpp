@@ -1,0 +1,111 @@
+#include "fabric/transport.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace mvcom::fabric {
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      tx_(std::move(other.tx_)),
+      rx_(std::move(other.rx_)),
+      rx_consumed_(std::exchange(other.rx_consumed_, 0)) {}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    tx_ = std::move(other.tx_);
+    rx_ = std::move(other.rx_);
+    rx_consumed_ = std::exchange(other.rx_consumed_, 0);
+  }
+  return *this;
+}
+
+Channel::~Channel() { close(); }
+
+void Channel::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::queue_frame(FrameType type,
+                          std::span<const std::uint8_t> payload) {
+  append_frame(tx_, type, payload);
+}
+
+bool Channel::flush() {
+  std::size_t sent = 0;
+  while (sent < tx_.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE here, not SIGPIPE —
+    // the coordinator treats it as worker death and replays.
+    const ssize_t n = ::send(fd_, tx_.data() + sent, tx_.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      tx_.clear();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  tx_.clear();
+  return true;
+}
+
+void Channel::compact() {
+  // Drop fully-parsed bytes once they dominate the buffer; keeps the rx
+  // arena bounded without a memmove per frame.
+  if (rx_consumed_ > 0 &&
+      (rx_consumed_ == rx_.size() || rx_consumed_ >= 4096)) {
+    rx_.erase(rx_.begin(),
+              rx_.begin() + static_cast<std::ptrdiff_t>(rx_consumed_));
+    rx_consumed_ = 0;
+  }
+}
+
+RecvStatus Channel::recv_frame(FrameView* frame, int timeout_ms) {
+  for (;;) {
+    // A complete frame may already be buffered from a previous gulp.
+    const ParseStatus parsed =
+        parse_frame(std::span<const std::uint8_t>(rx_), &rx_consumed_, frame);
+    if (parsed == ParseStatus::kOk) return RecvStatus::kOk;
+    if (parsed == ParseStatus::kCorrupt) return RecvStatus::kCorrupt;
+
+    compact();
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kError;
+    }
+    if (ready == 0) return RecvStatus::kTimeout;
+
+    std::uint8_t chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return RecvStatus::kError;
+    }
+    if (n == 0) return RecvStatus::kEof;
+    rx_.insert(rx_.end(), chunk, chunk + n);
+  }
+}
+
+std::pair<Channel, Channel> make_channel_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error(std::string("fabric: socketpair failed: ") +
+                             std::strerror(errno));
+  }
+  return {Channel(fds[0]), Channel(fds[1])};
+}
+
+}  // namespace mvcom::fabric

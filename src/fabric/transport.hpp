@@ -1,0 +1,76 @@
+#pragma once
+// Batched frame transport over a local stream socket (DESIGN.md §17).
+//
+// A Channel owns one end of a socketpair. Sends are buffered: callers
+// append any number of frames, then flush() pushes the whole batch with as
+// few write(2) calls as the kernel accepts — the coordinator's per-epoch
+// traffic to a worker is exactly one flush (header + payloads coalesced in
+// one contiguous buffer, the writev-equivalent without the iovec
+// bookkeeping, since frames are already packed back-to-back).
+//
+// Receives are poll(2)-bounded: recv_frame() returns kEof the instant the
+// peer closes (worker death) and kTimeout when the deadline passes with no
+// complete frame — the two signals the coordinator's crash-replay logic is
+// built on. The receive buffer persists across frames (arena reuse): bytes
+// of a following frame read in the same gulp stay buffered for the next
+// call, and the buffer compacts instead of reallocating.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fabric/wire.hpp"
+
+namespace mvcom::fabric {
+
+enum class RecvStatus : std::uint8_t {
+  kOk,       // a complete, checksum-verified frame was delivered
+  kEof,      // peer closed (worker died or coordinator shut the pipe)
+  kTimeout,  // deadline expired without a complete frame
+  kCorrupt,  // framing violation — the stream is unrecoverable
+  kError,    // I/O error on the descriptor
+};
+
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(int fd) : fd_(fd) {}
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  ~Channel();
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Appends one frame to the send buffer; nothing hits the socket yet.
+  void queue_frame(FrameType type, std::span<const std::uint8_t> payload);
+
+  /// Writes the whole queued batch. Returns false on EPIPE/other errors
+  /// (the peer is gone — callers treat it like kEof). Blocks until the
+  /// kernel accepts every byte; local socketpairs drain fast and the
+  /// per-epoch batch is bounded.
+  [[nodiscard]] bool flush();
+
+  /// Blocks up to `timeout_ms` (< 0 = forever) for one complete frame.
+  /// On kOk `frame->payload` points into the receive buffer and stays
+  /// valid until the next recv_frame() call.
+  [[nodiscard]] RecvStatus recv_frame(FrameView* frame, int timeout_ms);
+
+ private:
+  void compact();
+
+  int fd_ = -1;
+  std::vector<std::uint8_t> tx_;
+  std::vector<std::uint8_t> rx_;
+  std::size_t rx_consumed_ = 0;
+};
+
+/// socketpair(AF_UNIX, SOCK_STREAM) as two Channels: first = coordinator
+/// side, second = worker side. Throws on resource exhaustion.
+[[nodiscard]] std::pair<Channel, Channel> make_channel_pair();
+
+}  // namespace mvcom::fabric

@@ -4,6 +4,8 @@
 #include <map>
 #include <span>
 
+#include "common/fnv.hpp"
+
 namespace mvcom::core {
 
 namespace {
@@ -14,8 +16,8 @@ constexpr std::uint64_t kWorkloadStream = 0;
 constexpr std::uint64_t kHarnessStream = 1;
 
 struct Fnv {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  void byte(std::uint8_t b) { h = (h ^ b) * 0x100000001b3ULL; }
+  std::uint64_t h = common::kFnv1aBasis;
+  void byte(std::uint8_t b) { h = common::fnv1a_byte(h, b); }
   void u64(std::uint64_t v) {
     for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
   }

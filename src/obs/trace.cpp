@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "common/fnv.hpp"
+
 namespace mvcom::obs {
 
 namespace {
@@ -19,11 +21,9 @@ void fill_args(TraceEvent& event, std::initializer_list<TraceArg> args) {
 }  // namespace
 
 std::uint64_t events_digest(std::span<const TraceEvent> events) noexcept {
-  constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
-  constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-  std::uint64_t h = kOffset;
+  std::uint64_t h = common::kFnv1aBasis;
   const auto mix_byte = [&h](std::uint8_t byte) {
-    h = (h ^ byte) * kPrime;
+    h = common::fnv1a_byte(h, byte);
   };
   const auto mix_u64 = [&](std::uint64_t v) {
     for (int i = 0; i < 8; ++i) mix_byte(static_cast<std::uint8_t>(v >> (8 * i)));

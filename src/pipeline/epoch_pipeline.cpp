@@ -28,11 +28,8 @@ namespace {
 using common::Rng;
 using common::SimTime;
 
-constexpr std::uint64_t kDigestBasis = 0xcbf29ce484222325ULL;
-
-std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) noexcept {
-  return (h ^ v) * 0x100000001b3ULL;
-}
+constexpr std::uint64_t kDigestBasis = common::kFnv1aBasis;
+using common::fnv1a_mix;
 
 std::uint64_t bits_of(double v) noexcept {
   std::uint64_t u = 0;
@@ -243,11 +240,11 @@ EpochPipeline::FormedEpoch EpochPipeline::form_epoch(std::size_t epoch) const {
                         target, budget);
       if (solution) nonce = solution->nonce + 1;  // +1: distinguish "none"
     }
-    out.formation_digest = digest_mix(out.formation_digest, s.id);
-    out.formation_digest = digest_mix(out.formation_digest, s.txs);
+    out.formation_digest = fnv1a_mix(out.formation_digest, s.id);
+    out.formation_digest = fnv1a_mix(out.formation_digest, s.txs);
     out.formation_digest =
-        digest_mix(out.formation_digest, bits_of(s.submit_time));
-    out.formation_digest = digest_mix(out.formation_digest, nonce);
+        fnv1a_mix(out.formation_digest, bits_of(s.submit_time));
+    out.formation_digest = fnv1a_mix(out.formation_digest, nonce);
     out.shards.push_back(std::move(s));
   }
   return out;
@@ -287,7 +284,7 @@ EpochPipeline::FormedEpoch EpochPipeline::form_epoch_accounts(
 
   out.formation_digest = kDigestBasis;
   out.formation_digest =
-      digest_mix(out.formation_digest, xse.outcome.ledger_digest);
+      fnv1a_mix(out.formation_digest, xse.outcome.ledger_digest);
   for (std::size_t c = 0; c < config_.committees; ++c) {
     const txn::ShardTally& tally = xse.outcome.shards[c];
     if (tally.committed() == 0) continue;  // nothing to submit this window
@@ -303,10 +300,10 @@ EpochPipeline::FormedEpoch EpochPipeline::form_epoch_accounts(
     h.update("|" + std::to_string(tally.committed()));
     h.update("|" + std::to_string(xse.outcome.ledger_digest));
     s.root = h.finalize();
-    out.formation_digest = digest_mix(out.formation_digest, s.id);
-    out.formation_digest = digest_mix(out.formation_digest, s.txs);
+    out.formation_digest = fnv1a_mix(out.formation_digest, s.id);
+    out.formation_digest = fnv1a_mix(out.formation_digest, s.txs);
     out.formation_digest =
-        digest_mix(out.formation_digest, bits_of(s.submit_time));
+        fnv1a_mix(out.formation_digest, bits_of(s.submit_time));
     out.shards.push_back(std::move(s));
   }
   return out;
@@ -450,17 +447,17 @@ EpochReport EpochPipeline::schedule_epoch(FormedEpoch&& formed) {
 
   // Epoch digest: formation draws + DES event order + the selection itself.
   std::uint64_t digest = kDigestBasis;
-  digest = digest_mix(digest, formed.formation_digest);
-  digest = digest_mix(digest, des.order_digest());
-  digest = digest_mix(digest, report.des_events);
-  digest = digest_mix(digest, bits_of(report.utility));
-  digest = digest_mix(digest, bits_of(commit));
-  digest = digest_mix(digest, committed_txs);
+  digest = fnv1a_mix(digest, formed.formation_digest);
+  digest = fnv1a_mix(digest, des.order_digest());
+  digest = fnv1a_mix(digest, report.des_events);
+  digest = fnv1a_mix(digest, bits_of(report.utility));
+  digest = fnv1a_mix(digest, bits_of(commit));
+  digest = fnv1a_mix(digest, committed_txs);
   for (std::size_t i = 0; i < keep.size(); ++i) {
-    if (keep[i] != 0) digest = digest_mix(digest, i);
+    if (keep[i] != 0) digest = fnv1a_mix(digest, i);
   }
   report.event_order_digest = digest;
-  totals_.digest = digest_mix(totals_.digest, digest);
+  totals_.digest = fnv1a_mix(totals_.digest, digest);
 
   if (obs_epochs_ != nullptr) {
     obs_epochs_->inc();

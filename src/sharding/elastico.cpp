@@ -8,6 +8,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/fnv.hpp"
 #include "common/thread_pool.hpp"
 #include "crypto/merkle.hpp"
 #include "crypto/pow.hpp"
@@ -20,10 +21,8 @@ namespace {
 constexpr std::size_t kMinBftMembers = 4;
 
 /// FNV-1a fold used to merge per-lane order digests in committee order.
-constexpr std::uint64_t kDigestBasis = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t digest_mix(std::uint64_t h, std::uint64_t v) noexcept {
-  return (h ^ v) * 0x100000001b3ULL;
-}
+constexpr std::uint64_t kDigestBasis = common::kFnv1aBasis;
+using common::fnv1a_mix;
 
 }  // namespace
 
@@ -141,22 +140,20 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
   EpochOutcome outcome;
   outcome.committees.resize(member_committees);
 
-  // --- Membership and per-lane RNG substreams (serial, committee order) --
+  // --- Membership, per-lane RNG seeds, and lane tasks (serial, committee
+  // order) -----------------------------------------------------------------
   std::vector<std::vector<net::NodeId>> participants(committees);
   std::vector<SimTime> formation(committees, SimTime::infinity());
 
-  struct LaneStreams {
-    Rng overlay;  // message-level directory exchange fabric
-    Rng net;      // the lane's Network (delay sampling, loss draws)
-    Rng cluster;  // the lane's PbftCluster
-    bool armed = false;
-  };
-  std::vector<LaneStreams> streams(committees);
+  std::vector<LaneTask> tasks(committees);
   for (std::size_t c = 0; c < committees; ++c) {
     auto& solves = assignment[c];
     std::sort(solves.begin(), solves.end(),
               [](const Solve& a, const Solve& b) { return a.at < b.at; });
     const std::size_t take = std::min(config_.committee_size, solves.size());
+    LaneTask& task = tasks[c];
+    task.committee_id = static_cast<std::uint32_t>(c);
+    task.member_committees = static_cast<std::uint32_t>(member_committees);
     if (take < kMinBftMembers) continue;  // under-populated: cannot run BFT
     for (std::size_t r = 0; r < take; ++r) {
       participants[c].push_back(solves[r].node);
@@ -166,128 +163,85 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
       // overlay exchange.
       formation[c] = solves[take - 1].at + overlay;
     }
-    // Fork every lane's substreams here — serially, in committee order,
+    // Draw every lane's substream seeds here — serially, in committee order,
     // before any lane runs. This is the whole determinism contract: a lane
-    // consumes only its own pre-forked streams, so execution order across
-    // worker threads cannot change what any lane draws.
-    if (config_.message_level_overlay) streams[c].overlay = rng_.fork();
-    streams[c].net = rng_.fork();
-    streams[c].cluster = rng_.fork();
-    streams[c].armed = true;
+    // consumes only its own pre-drawn seeds, so execution order across
+    // worker threads — or worker *processes* (src/fabric) — cannot change
+    // what any lane draws. Rng(rng_()) is exactly rng_.fork(), so these
+    // draws are bit-compatible with the pre-task closure implementation.
+    if (config_.message_level_overlay) task.overlay_seed = rng_();
+    task.net_seed = rng_();
+    task.cluster_seed = rng_();
+    task.armed = true;
+    task.message_level_overlay = config_.message_level_overlay;
+    task.kernel_mode = config_.kernel_mode;
+    task.num_nodes = static_cast<std::uint32_t>(config_.num_nodes);
+    task.link_latency_mean = config_.link_latency_mean;
+    task.message_loss_probability = config_.message_loss_probability;
+    task.overlay_identity_processing = config_.overlay_identity_processing;
+    task.pbft = config_.pbft;
+    task.randomness = randomness_;
+    task.formation = formation[c];
+    task.shard_txs = c < member_committees ? shard_txs[c] : 0;
+    task.participants = participants[c];
+    if (config_.message_level_overlay) {
+      task.ready_at.reserve(take);
+      for (std::size_t r = 0; r < take; ++r) {
+        task.ready_at.push_back(solves[r].at);
+      }
+    }
+    task.verify_speeds.reserve(take);
+    task.failed.reserve(take);
+    for (const net::NodeId node : participants[c]) {
+      task.verify_speeds.push_back(verify_speeds_[node]);
+      task.failed.push_back(node_failed[node]);
+    }
   }
 
   // --- Stages 2 (message-level) + 3: one private lane per committee ------
   // Committees are mutually independent until the final consensus (§I), so
   // each formed committee gets a private event fabric + network driven to
   // quiescence inside its lane. The final committee's lane performs only
-  // its overlay exchange; its PBFT waits for stage 4. Lane outcomes land in
+  // its overlay exchange; its PBFT waits for stage 4. Lane results land in
   // per-committee slots and merge below in committee order, so results are
-  // bitwise-identical for any lane_workers value.
-  std::vector<std::uint64_t> lane_digest(committees, 0);
-  std::vector<std::uint64_t> lane_events(committees, 0);
-  const auto run_lane = [&](std::size_t c) {
-    if (!streams[c].armed) return;
-    std::uint64_t digest = kDigestBasis;
-    std::uint64_t events = 0;
-    if (config_.message_level_overlay) {
-      // Stage 2 as the real directory exchange: the first solver collects
-      // JOINs from its committee peers plus one identity announcement per
-      // network node (the Elastico directory learns the whole membership —
-      // the linear-in-N term), then pushes the list back out. Each exchange
-      // runs on an isolated event fabric so its absolute-time scheduling
-      // cannot collide with the other committees' stages.
-      const std::size_t take = participants[c].size();
-      std::vector<SimTime> ready;
-      ready.reserve(take);
-      for (std::size_t r = 0; r < take; ++r) ready.push_back(assignment[c][r].at);
-      sim::Simulator overlay_sim(sim::SimConfig{config_.kernel_mode});
-      overlay_sim.set_obs(obs_);
-      net::Network overlay_net(overlay_sim, streams[c].overlay, link,
-                               config_.num_nodes);
-      overlay_net.set_obs(obs_);
-      const OverlayResult exchanged = run_overlay_configuration(
-          overlay_sim, overlay_net, participants[c], ready,
-          participants[c].front(), config_.overlay_identity_processing);
-      digest = digest_mix(digest, overlay_sim.order_digest());
-      events += overlay_sim.events_executed();
-      // Directory-side verification of the *network-wide* identity list.
-      const SimTime directory_scan =
-          SimTime(static_cast<double>(config_.num_nodes) *
-                  config_.overlay_identity_processing.seconds());
-      SimTime configured = SimTime::zero();
-      for (const SimTime t : exchanged.configured_at) {
-        configured = std::max(configured, t);
-      }
-      if (configured.is_infinite() ||
-          exchanged.directory_complete.is_infinite()) {
-        participants[c].clear();  // exchange failed: committee unformed
-        lane_digest[c] = digest;
-        lane_events[c] = events;
-        return;
-      }
-      formation[c] = configured + directory_scan;
-    }
-    if (c < member_committees) {
-      CommitteeOutcome& co = outcome.committees[c];
-      co.formation_latency = formation[c];
-
-      sim::Simulator lane_sim(sim::SimConfig{config_.kernel_mode});
-      lane_sim.set_obs(obs_);
-      net::Network lane_net(lane_sim, streams[c].net, link, config_.num_nodes);
-      lane_net.set_obs(obs_);
-      lane_net.set_loss_probability(config_.message_loss_probability);
-      for (const net::NodeId node : participants[c]) {
-        if (node_failed[node] != 0) lane_net.set_failed(node, true);
-      }
-      consensus::PbftCluster cluster(lane_sim, lane_net, config_.pbft,
-                                     streams[c].cluster, participants[c]);
-      cluster.set_obs(obs_);
-      for (std::size_t r = 0; r < participants[c].size(); ++r) {
-        cluster.set_speed_factor(r, verify_speeds_[participants[c][r]]);
-      }
-      // Shard payload: Merkle root over a synthetic per-shard block digest.
-      const crypto::Digest payload = crypto::Sha256::hash(
-          randomness_ + "|shard|" + std::to_string(c) + "|" +
-          std::to_string(shard_txs[c]));
-      bool decided = false;
-      lane_sim.schedule_at(formation[c], [&cluster, payload, &co, &decided] {
-        cluster.start_consensus(
-            payload, [&co, &decided](const consensus::PbftResult& res) {
-              co.committed = res.committed;
-              co.consensus_latency = res.latency;
-              co.view_changes = res.view_changes;
-              decided = true;
-            });
-      });
-      // Drive this committee to quiescence (the cluster's horizon event
-      // bounds the run); by then nothing references the lane's objects.
-      lane_sim.run();
-      assert(decided);
-      digest = digest_mix(digest, lane_sim.order_digest());
-      events += lane_sim.events_executed();
-    }
-    lane_digest[c] = digest;
-    lane_events[c] = events;
-  };
-  {
+  // bitwise-identical for any lane_workers value — and for any executor: a
+  // fabric of worker processes runs the same pure tasks and merges the same
+  // way (DESIGN.md §17).
+  std::vector<LaneResult> results(committees);
+  if (lane_executor_) {
+    lane_executor_(tasks, results);
+  } else {
     // lane_workers == 0 builds a worker-less pool: parallel_for degenerates
     // to an inline loop on this thread — the serial reference path.
     common::ThreadPool pool(config_.lane_workers);
-    pool.parallel_for(committees, run_lane);
+    pool.parallel_for(committees, [&](std::size_t c) {
+      results[c] = run_committee_lane(tasks[c], obs_);
+    });
   }
 
-  // --- Merge lane outcomes, in committee order ----------------------------
-  for (std::size_t c = 0; c < member_committees; ++c) {
-    CommitteeOutcome& co = outcome.committees[c];
-    co.committee_id = static_cast<std::uint32_t>(c);
-    co.member_count = participants[c].size();
-    co.tx_count = shard_txs[c];
-  }
+  // --- Merge lane results, in committee order -----------------------------
   outcome.event_order_digest = kDigestBasis;
   for (std::size_t c = 0; c < committees; ++c) {
+    const LaneResult& lane = results[c];
+    if (tasks[c].armed && !lane.formed) {
+      participants[c].clear();  // overlay exchange failed: unformed
+    }
+    if (lane.formed) formation[c] = lane.formation;
+    if (c < member_committees) {
+      CommitteeOutcome& co = outcome.committees[c];
+      co.committee_id = static_cast<std::uint32_t>(c);
+      co.member_count = participants[c].size();
+      co.tx_count = shard_txs[c];
+      if (lane.formed) {
+        co.formation_latency = lane.formation;
+        co.committed = lane.committed;
+        co.consensus_latency = lane.consensus_latency;
+        co.view_changes = lane.view_changes;
+      }
+    }
     outcome.event_order_digest =
-        digest_mix(outcome.event_order_digest, lane_digest[c]);
-    outcome.events_executed += lane_events[c];
+        fnv1a_mix(outcome.event_order_digest, lane.order_digest);
+    outcome.events_executed += lane.events_executed;
   }
 
   // --- Stage 4: final consensus -------------------------------------------
@@ -318,12 +272,12 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
     }
     const crypto::MerkleTree tree(std::move(leaves));
 
-    // The final committee runs on its own fresh fabric with the substreams
-    // pre-forked for it above, so its numbers are identical whether the
-    // member lanes ran serially or on a pool.
+    // The final committee runs on its own fresh fabric with the seeds
+    // pre-drawn for it above, so its numbers are identical whether the
+    // member lanes ran serially, on a pool, or on worker processes.
     sim::Simulator final_sim(sim::SimConfig{config_.kernel_mode});
     final_sim.set_obs(obs_);
-    net::Network final_net(final_sim, streams[final_id].net, link,
+    net::Network final_net(final_sim, Rng(tasks[final_id].net_seed), link,
                            config_.num_nodes);
     final_net.set_obs(obs_);
     final_net.set_loss_probability(config_.message_loss_probability);
@@ -331,7 +285,7 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
       if (node_failed[node] != 0) final_net.set_failed(node, true);
     }
     consensus::PbftCluster final_cluster(final_sim, final_net, config_.pbft,
-                                         streams[final_id].cluster,
+                                         Rng(tasks[final_id].cluster_seed),
                                          participants[final_id]);
     final_cluster.set_obs(obs_);
     for (std::size_t r = 0; r < participants[final_id].size(); ++r) {
@@ -350,7 +304,7 @@ EpochOutcome ElasticoNetwork::run_epoch(const txn::Trace& trace,
     final_sim.run();
     assert(done);
     outcome.event_order_digest =
-        digest_mix(outcome.event_order_digest, final_sim.order_digest());
+        fnv1a_mix(outcome.event_order_digest, final_sim.order_digest());
     outcome.events_executed += final_sim.events_executed();
     outcome.final_block_txs = total_txs;
     outcome.epoch_makespan = start + outcome.final_consensus_latency;

@@ -39,6 +39,7 @@
 #include "consensus/pbft.hpp"
 #include "net/network.hpp"
 #include "obs/context.hpp"
+#include "sharding/lane.hpp"
 #include "sim/simulator.hpp"
 #include "txn/trace.hpp"
 #include "txn/workload.hpp"
@@ -120,6 +121,15 @@ struct CommitteeOutcome {
 using CommitteeScheduler =
     std::function<std::vector<std::uint32_t>(const std::vector<CommitteeOutcome>&)>;
 
+/// Runs a whole epoch's lane tasks and fills `results` (one slot per task,
+/// same index). The default executor dispatches `run_committee_lane` on an
+/// in-process thread pool; src/fabric installs one that ships the tasks to
+/// worker processes over the binary wire format. Every executor must fill
+/// `results[c]` from tasks[c] alone — the coordinator merges in committee
+/// order, so any conforming executor produces bitwise-identical epochs.
+using LaneExecutor =
+    std::function<void(std::vector<LaneTask>&, std::vector<LaneResult>&)>;
+
 struct EpochOutcome {
   std::vector<CommitteeOutcome> committees;  // member committees only
   std::vector<std::uint32_t> selected;       // shards included in final block
@@ -177,6 +187,14 @@ class ElasticoNetwork {
   /// result) depends on the worker count.
   void set_obs(obs::ObsContext obs) noexcept { obs_ = obs; }
 
+  /// Replaces the in-process lane pool with a custom executor (the process
+  /// fabric). Pass nullptr to restore the default. The executor never
+  /// affects seed draws or merge order, so results stay bitwise-identical
+  /// to the in-process path — test_fabric diffs the digests to prove it.
+  void set_lane_executor(LaneExecutor executor) {
+    lane_executor_ = std::move(executor);
+  }
+
  private:
   [[nodiscard]] unsigned committee_bits_unsigned() const noexcept {
     return static_cast<unsigned>(config_.committee_bits);
@@ -185,6 +203,7 @@ class ElasticoNetwork {
   ElasticoConfig config_;
   Rng rng_;
   obs::ObsContext obs_;
+  LaneExecutor lane_executor_;
   std::vector<double> hash_rates_;    // per-node relative PoW speed
   std::vector<double> verify_speeds_; // per-node PBFT verification factor
   std::string randomness_;            // current epoch randomness

@@ -3,18 +3,15 @@
 #include <bit>
 #include <stdexcept>
 
+#include "common/fnv.hpp"
 #include "obs/metrics.hpp"
 
 namespace mvcom::sim {
 namespace {
 
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-constexpr std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
-  // Fold the value byte-granularity-free: one xor-multiply per 64-bit word
-  // keeps the per-event cost to a couple of cycles.
-  return (h ^ v) * kFnvPrime;
-}
+// Fold values byte-granularity-free: one xor-multiply per 64-bit word keeps
+// the per-event cost to a couple of cycles (common/fnv.hpp).
+using common::fnv1a_mix;
 
 }  // namespace
 
@@ -142,8 +139,8 @@ bool Simulator::fire_next() {
     ++s.gen;  // disarm: the event's id is dead for cancel() from here on
     --live_;
     ++executed_;
-    digest_ = fnv_mix(digest_, top.seq);
-    digest_ = fnv_mix(digest_, std::bit_cast<std::uint64_t>(top.at.seconds()));
+    digest_ = fnv1a_mix(digest_, top.seq);
+    digest_ = fnv1a_mix(digest_, std::bit_cast<std::uint64_t>(top.at.seconds()));
     if (obs_executed_ != nullptr) obs_executed_->inc();
     // The callback stays in its slot for the call (slots are stable even if
     // the callback schedules new events); the slot returns to the free list
@@ -240,9 +237,9 @@ std::size_t Simulator::run_batched(std::size_t limit, const SimTime* horizon) {
       --live_;
       ++executed_;
       ++fired;
-      digest_ = fnv_mix(digest_, top.seq);
+      digest_ = fnv1a_mix(digest_, top.seq);
       digest_ =
-          fnv_mix(digest_, std::bit_cast<std::uint64_t>(top.at.seconds()));
+          fnv1a_mix(digest_, std::bit_cast<std::uint64_t>(top.at.seconds()));
       skip_stale_head();
     } while (fired < limit && !heap_.empty() &&
              (heap_[0].slot & kTypedBit) != 0 && heap_[0].gen == kernel &&

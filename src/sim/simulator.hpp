@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/fnv.hpp"
 #include "common/sim_time.hpp"
 #include "obs/context.hpp"
 #include "sim/kernel.hpp"
@@ -290,7 +291,7 @@ class Simulator {
   SimTime now_ = SimTime::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  std::uint64_t digest_ = common::kFnv1aBasis;
 
   // Typed-event machinery. `typed_pool_` is the payload arena: a flat array
   // recycled through `typed_free_`, sized to the peak number of in-flight

@@ -3,16 +3,14 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/fnv.hpp"
+
 namespace mvcom::txn {
 
 namespace {
 
-constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-constexpr std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t v) noexcept {
-  return (h ^ v) * kFnvPrime;
-}
+using common::fnv1a_mix;
+using common::kFnv1aBasis;
 
 /// Keyed stream salts for the end-to-end paths. Far from both the
 /// pipeline's 4·epoch+slot indices and the account generator's 2^40 band.
@@ -70,7 +68,7 @@ ScheduleOutcome schedule(const AccountEpoch& epoch, const Assembly& assembly,
 
   std::vector<std::uint32_t> remotes;  // distinct non-placement shards, per TX
   const bool online = config.scheduler == SchedulerPolicy::kDynamicDeadline;
-  out.ledger_digest = kFnvBasis;
+  out.ledger_digest = kFnv1aBasis;
 
   for (std::size_t t = 0; t < epoch.txs.size(); ++t) {
     const AccountTx& tx = epoch.txs[t];
@@ -161,11 +159,11 @@ ScheduleOutcome schedule(const AccountEpoch& epoch, const Assembly& assembly,
       ++out.deferred_txs;
     }
 
-    out.ledger_digest = fnv_mix(out.ledger_digest, tx.tx_id);
+    out.ledger_digest = fnv1a_mix(out.ledger_digest, tx.tx_id);
     out.ledger_digest =
-        fnv_mix(out.ledger_digest, static_cast<std::uint64_t>(result.cls));
-    out.ledger_digest = fnv_mix(out.ledger_digest, result.shard);
-    out.ledger_digest = fnv_mix(out.ledger_digest, result.round);
+        fnv1a_mix(out.ledger_digest, static_cast<std::uint64_t>(result.cls));
+    out.ledger_digest = fnv1a_mix(out.ledger_digest, result.shard);
+    out.ledger_digest = fnv1a_mix(out.ledger_digest, result.round);
   }
   return out;
 }

@@ -51,6 +51,21 @@
 //       event-stream digest — which must be bit-identical across runs with
 //       the same seed (the CI adversarial-smoke contract).
 //
+//   mvcom fabric [--nodes N] [--committee-bits B] [--committee-size S]
+//                [--epochs N] [--workers W] [--seed S] [--verify 0|1]
+//                [--kill-epoch K] [--kill-worker W] [--metrics-dir DIR]
+//                [--metrics-out <file.prom>]
+//       Run Elastico epochs on the multi-process shard fabric (DESIGN.md
+//       §17): W forked worker processes execute the committee lanes,
+//       connected by the binary wire protocol. With --verify 1 (default) a
+//       second, in-process network replays the identical run and every
+//       epoch's event_order_digest / makespan / final block is diffed
+//       bitwise — any divergence exits 1. --kill-epoch SIGKILLs a worker
+//       right after that epoch's dispatch to exercise the crash-replay
+//       path (the digests must STILL match). --metrics-dir makes each
+//       worker export its private registry per epoch (per-process
+//       Prometheus surface).
+//
 //   mvcom xshard [--accounts N] [--shards N] [--txs N] [--epochs N]
 //                [--skew S] [--ratios 0,0.1,0.3,0.5] [--rounds R]
 //                [--capacity C] [--slack K] [--scheduler greedy|dynamic]
@@ -73,6 +88,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -82,6 +98,7 @@
 #include <vector>
 
 #include "analysis/theory.hpp"
+#include "common/fnv.hpp"
 #include "common/rng.hpp"
 #include "mvcom/adversary/campaign.hpp"
 #include "mvcom/fault_injection.hpp"
@@ -91,6 +108,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/serve.hpp"
+#include "fabric/coordinator.hpp"
 #include "sharding/elastico.hpp"
 #include "txn/accounts/model.hpp"
 #include "txn/trace_generator.hpp"
@@ -197,7 +215,7 @@ struct ObsSinks {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mvcom <gen-trace|schedule|epoch|bounds|serve|chaos|"
+               "usage: mvcom <gen-trace|schedule|epoch|fabric|bounds|serve|chaos|"
                "xshard> [options]\n"
                "see the header of tools/mvcom_cli.cpp for details\n");
   return 2;
@@ -261,8 +279,6 @@ int cmd_xshard(const Args& args) {
               model.zipf_skew, mvcom::txn::to_string(xc.scheduler),
               xc.rounds_per_epoch,
               static_cast<unsigned long long>(xc.shard_round_capacity));
-  constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
-  constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
   for (const double ratio : ratios) {
     model.cross_shard_ratio = ratio;
     const mvcom::txn::AccountTxGenerator generator(model);
@@ -277,7 +293,7 @@ int cmd_xshard(const Args& args) {
                               mvcom::txn::AssemblerPolicy::kRandomOblivious}) {
       xc.assembler = policy;
       std::uint64_t committed = 0, intra = 0, cross = 0, deferred = 0;
-      std::uint64_t digest = kFnvBasis;
+      std::uint64_t digest = mvcom::common::kFnv1aBasis;
       for (std::size_t e = 0; e < epochs; ++e) {
         const auto epoch = generator.epoch_keyed(seed, e);
         const auto result = mvcom::txn::run_epoch(epoch, xc, seed);
@@ -285,7 +301,7 @@ int cmd_xshard(const Args& args) {
         intra += result.outcome.intra_txs;
         cross += result.outcome.cross_txs;
         deferred += result.outcome.deferred_txs;
-        digest = (digest ^ result.outcome.ledger_digest) * kFnvPrime;
+        digest = mvcom::common::fnv1a_mix(digest, result.outcome.ledger_digest);
       }
       if (auto* m = obs.metrics()) {
         const std::string arm = mvcom::txn::to_string(policy);
@@ -410,6 +426,92 @@ int cmd_epoch(const Args& args) {
               static_cast<unsigned long long>(network.root_chain().height()),
               network.root_chain().validate_full() ? "yes" : "NO");
   return 0;
+}
+
+int cmd_fabric(const Args& args) {
+  mvcom::sharding::ElasticoConfig config;
+  config.num_nodes = args.get_u64("nodes", 128);
+  config.committee_bits = static_cast<int>(args.get_u64("committee-bits", 3));
+  config.committee_size = args.get_u64("committee-size", 6);
+  config.pbft.verification_mean = mvcom::common::SimTime(0.2);
+  config.node_failure_probability = args.get_f64("failure", 0.0);
+  config.message_loss_probability = args.get_f64("loss", 0.0);
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const std::uint64_t epochs = args.get_u64("epochs", 4);
+  const bool verify = args.get_u64("verify", 1) != 0;
+
+  mvcom::common::Rng trace_rng(seed + 1);
+  mvcom::txn::TraceGeneratorConfig tc;
+  tc.num_blocks = std::max<std::uint64_t>(
+      64, (std::size_t{1} << config.committee_bits) - 1);
+  tc.target_total_txs = tc.num_blocks * 1000;
+  const auto trace = mvcom::txn::generate_trace(tc, trace_rng);
+
+  ObsSinks sinks(args);
+  mvcom::fabric::FabricConfig fabric_config;
+  fabric_config.workers = args.get_u64("workers", 2);
+  if (const auto it = args.flags.find("metrics-dir");
+      it != args.flags.end()) {
+    fabric_config.metrics_dir = it->second;
+  }
+  mvcom::fabric::ProcessFabric fleet(fabric_config, sinks.context());
+  if (const auto it = args.flags.find("kill-epoch"); it != args.flags.end()) {
+    fleet.inject_kill(args.get_u64("kill-worker", 0),
+                      args.get_u64("kill-epoch", 0));
+  }
+
+  mvcom::sharding::ElasticoNetwork network(config,
+                                           mvcom::common::Rng(seed));
+  network.set_obs(sinks.context());
+  network.set_lane_executor(fleet.executor());
+
+  // The in-process reference replays the identical epochs: same config,
+  // same seed, lanes on the default pool. Its digests are the ground truth
+  // the fabric must match bitwise.
+  std::optional<mvcom::sharding::ElasticoNetwork> reference;
+  if (verify) reference.emplace(config, mvcom::common::Rng(seed));
+
+  bool diverged = false;
+  for (std::uint64_t e = 0; e < epochs; ++e) {
+    const auto outcome = network.run_epoch(trace);
+    std::printf("epoch %llu: digest %016llx makespan %.3fs txs %llu "
+                "shards %zu\n",
+                static_cast<unsigned long long>(e),
+                static_cast<unsigned long long>(outcome.event_order_digest),
+                outcome.epoch_makespan.seconds(),
+                static_cast<unsigned long long>(outcome.final_block_txs),
+                outcome.selected.size());
+    if (reference) {
+      const auto expected = reference->run_epoch(trace);
+      const bool equal =
+          expected.event_order_digest == outcome.event_order_digest &&
+          expected.events_executed == outcome.events_executed &&
+          expected.final_block_txs == outcome.final_block_txs &&
+          expected.next_epoch_randomness == outcome.next_epoch_randomness &&
+          std::bit_cast<std::uint64_t>(expected.epoch_makespan.seconds()) ==
+              std::bit_cast<std::uint64_t>(outcome.epoch_makespan.seconds());
+      if (!equal) {
+        diverged = true;
+        std::printf("epoch %llu: DIVERGED from in-process reference "
+                    "(expected digest %016llx)\n",
+                    static_cast<unsigned long long>(e),
+                    static_cast<unsigned long long>(
+                        expected.event_order_digest));
+      }
+    }
+  }
+  std::printf("fabric: %llu epochs on %zu workers, %llu respawns, "
+              "chain height %llu (valid=%s)\n",
+              static_cast<unsigned long long>(epochs), fleet.workers(),
+              static_cast<unsigned long long>(fleet.respawns()),
+              static_cast<unsigned long long>(network.root_chain().height()),
+              network.root_chain().validate_full() ? "yes" : "NO");
+  if (verify) {
+    std::printf("verify: %s\n", diverged ? "DIVERGED" : "identical");
+  }
+  fleet.shutdown();
+  if (!sinks.flush()) return 1;
+  return diverged ? 1 : 0;
 }
 
 int cmd_bounds(const Args& args) {
@@ -720,6 +822,7 @@ int main(int argc, char** argv) {
     if (command == "gen-trace") return cmd_gen_trace(*args);
     if (command == "schedule") return cmd_schedule(*args);
     if (command == "epoch") return cmd_epoch(*args);
+    if (command == "fabric") return cmd_fabric(*args);
     if (command == "bounds") return cmd_bounds(*args);
     if (command == "serve") return cmd_serve(*args);
     if (command == "chaos") return cmd_chaos(*args);
